@@ -1,0 +1,35 @@
+// F1 — harvested power vs excitation frequency, tuned vs untuned — the
+// figure that motivates tunable harvesters (cf. [2] fig. "power vs f").
+#include <algorithm>
+#include <iostream>
+
+#include "core/report.hpp"
+#include "harvester/harvester_system.hpp"
+#include "harvester/tuning.hpp"
+
+using namespace ehdoe;
+using namespace ehdoe::harvester;
+
+int main() {
+    std::cout << "F1 - average harvested power into 2.6 V storage vs excitation\n"
+                 "frequency (0.8 m/s^2): fixed 65 Hz device vs device tuned to the\n"
+                 "excitation (power-flow model; series also regenerable at circuit\n"
+                 "level via bench_t1 machinery).\n\n";
+
+    PowerFlowModel pf({MicrogeneratorParams{}, MultiplierParams{}});
+    const TuningMap map = TuningMap::synthetic();
+
+    core::Table t("F1: power vs frequency (uW)");
+    t.headers({"f_exc (Hz)", "untuned (f_res=65)", "tuned (f_res=f_exc, clamped)"});
+    for (double f = 50.0; f <= 95.0 + 1e-9; f += 2.5) {
+        const double p_fixed = pf.power(f, 65.0, 0.8, 2.6) * 1e6;
+        const double f_res = std::clamp(f, map.f_min(), map.f_max());
+        const double p_tuned = pf.power(f, f_res, 0.8, 2.6) * 1e6;
+        t.row().cell(f, 1).cell(p_fixed, 2).cell(p_tuned, 2);
+    }
+    t.print(std::cout);
+    std::cout << "\nExpected shape: the untuned series collapses a few Hz off 65 Hz;\n"
+                 "the tuned series holds near-peak power across the whole 65-85 Hz\n"
+                 "tuning range and degrades only outside it.\n";
+    return 0;
+}

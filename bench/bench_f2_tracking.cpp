@@ -1,0 +1,45 @@
+// F2 — tuning transient: the controller tracking a drifting excitation
+// line, for several dead-bands (scenario S2 drift profile).
+#include <iostream>
+
+#include "core/report.hpp"
+#include "core/scenario.hpp"
+#include "node/node_sim.hpp"
+
+using namespace ehdoe;
+using namespace ehdoe::core;
+
+int main() {
+    std::cout << "F2 - resonant-frequency tracking of the S2 drift (66->82->71 Hz,\n"
+                 "300 s) for three controller dead-bands; 10 s samples.\n\n";
+
+    const Scenario sc = Scenario::make(ScenarioId::Industrial, 300.0);
+
+    for (double db : {0.5, 1.0, 2.0}) {
+        auto cfg = sc.base_config();
+        cfg.duration = 300.0;
+        cfg.controller.deadband_hz = db;
+        cfg.controller.check_period = 10.0;
+        node::NodeSimulation simr(cfg);
+        std::vector<node::TracePoint> trace;
+        const auto m = simr.run_traced(10.0, trace);
+
+        core::Table t("F2: dead-band = " + core::format_double(db, 1) + " Hz  (retunes=" +
+                      std::to_string(m.retunes) +
+                      ", E_tune=" + core::format_double(m.energy_tuning * 1e3, 1) + " mJ)");
+        t.headers({"t (s)", "f_exc (Hz)", "f_res (Hz)", "|mismatch|", "P_harv (uW)"});
+        for (const auto& pt : trace) {
+            t.row()
+                .cell(pt.t, 0)
+                .cell(pt.f_exc, 2)
+                .cell(pt.f_res, 2)
+                .cell(std::abs(pt.f_exc - pt.f_res), 2)
+                .cell(pt.p_harvest * 1e6, 1);
+        }
+        t.print(std::cout);
+        std::cout << '\n';
+    }
+    std::cout << "Expected shape: small dead-bands track tightly (many cheap moves);\n"
+                 "large dead-bands lag the drift and sacrifice harvested power.\n";
+    return 0;
+}

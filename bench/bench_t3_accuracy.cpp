@@ -1,0 +1,42 @@
+// T3 — RSM prediction accuracy per performance indicator, per scenario
+// ("evaluate the effect almost instantly but still with high accuracy").
+#include <iostream>
+
+#include "core/report.hpp"
+#include "core/scenario.hpp"
+#include "core/toolkit.hpp"
+
+using namespace ehdoe;
+using namespace ehdoe::core;
+
+int main() {
+    std::cout << "T3 - quadratic-RSM validated accuracy for every performance\n"
+                 "indicator, per scenario. CCD(face-centred) + 60 fresh validation\n"
+                 "simulations per scenario.\n\n";
+
+    core::Table t("T3: hold-out accuracy per indicator");
+    t.headers({"scenario", "response", "val RMSE", "NRMSE/mean", "NRMSE/range", "val R2"});
+
+    for (auto id : {ScenarioId::OfficeHvac, ScenarioId::Industrial, ScenarioId::Transport}) {
+        const Scenario sc = Scenario::make(id, 150.0);
+        DesignFlow::Options o;
+        o.runner_threads = 8;
+        DesignFlow flow(sc.design_space(), sc.make_simulation(), o);
+        flow.run_ccd();
+        for (const std::string& resp : flow.response_names()) {
+            const auto v = flow.validate(resp, 60);
+            t.row()
+                .cell(sc.name())
+                .cell(resp)
+                .cell(v.rmse, 5)
+                .cell(v.nrmse_mean, 3)
+                .cell(v.nrmse_range, 3)
+                .cell(v.r_squared, 3);
+        }
+    }
+    t.print(std::cout);
+    std::cout << "\nExpected shape: smooth energy indicators (E_cons, E_tune) within a\n"
+                 "few percent of the simulator; thresholded ones (downtime, V_min at\n"
+                 "the brown-out cliff) are visibly harder for a quadratic surface.\n";
+    return 0;
+}

@@ -1,0 +1,114 @@
+// T5 — optimization comparison: the DoE/RSM flow vs classical direct
+// simulation-based heuristics (GA, SA, pattern search), the methods the
+// abstract calls "difficult to use, due to long CPU times".
+// Task: maximize delivered packets on S2 subject to no downtime and a
+// healthy storage margin.
+#include <chrono>
+#include <iostream>
+
+#include "core/report.hpp"
+#include "core/scenario.hpp"
+#include "core/toolkit.hpp"
+#include "opt/anneal.hpp"
+#include "opt/genetic.hpp"
+#include "opt/pattern.hpp"
+
+using namespace ehdoe;
+using namespace ehdoe::core;
+
+namespace {
+
+// Penalized objective evaluated directly on the simulator (coded units).
+struct DirectObjective {
+    const Scenario* sc;
+    const doe::DesignSpace* space;
+    doe::Simulation sim;
+    mutable std::size_t calls = 0;
+
+    double operator()(const num::Vector& coded) const {
+        ++calls;
+        const auto r = sim(space->to_natural(space->clamp(coded)));
+        double v = -r.at(kRespPackets);
+        const double downtime = r.at(kRespDowntime);
+        const double vmin = r.at(kRespVmin);
+        if (downtime > 0.5) v += 1e3 * downtime;
+        if (vmin < 2.0) v += 1e4 * (2.0 - vmin);
+        return v;
+    }
+};
+
+}  // namespace
+
+int main() {
+    std::cout << "T5 - optimization: DoE/RSM flow vs direct-on-simulator heuristics.\n"
+                 "Scenario S2 (industrial drift, 150 s horizon). Objective: maximize\n"
+                 "packets s.t. downtime <= 0.5 s and V_min >= 2.0 V.\n\n";
+
+    const Scenario sc = Scenario::make(ScenarioId::Industrial, 150.0);
+    const auto space = sc.design_space();
+
+    core::Table t("T5: optimizer comparison");
+    t.headers({"method", "simulator calls", "wall", "best packets (sim-confirmed)"});
+
+    // --- DoE/RSM flow -------------------------------------------------------
+    {
+        DesignFlow::Options o;
+        o.runner_threads = 8;
+        DesignFlow flow(space, sc.make_simulation(), o);
+        const auto t0 = std::chrono::steady_clock::now();
+        flow.run_ccd();
+        const auto out = flow.optimize(
+            kRespPackets, true,
+            {{kRespDowntime, -1e300, 0.5}, {kRespVmin, 2.0, 1e300}}, true);
+        const double wall =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+        t.row()
+            .cell("DoE + RSM (this paper)")
+            .cell(flow.simulator_calls())
+            .cell(core::format_seconds(wall))
+            .cell(out.confirmed.value_or(-1.0), 1);
+    }
+
+    // --- direct heuristics --------------------------------------------------
+    const auto run_direct = [&](const char* name, auto&& optimize) {
+        DirectObjective obj{&sc, &space, sc.make_simulation()};
+        const auto t0 = std::chrono::steady_clock::now();
+        const opt::OptResult r = optimize(obj);
+        const double wall =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+        // Confirm the winner.
+        const auto conf = sc.make_simulation()(space.to_natural(space.clamp(r.x)));
+        t.row()
+            .cell(name)
+            .cell(obj.calls)
+            .cell(core::format_seconds(wall))
+            .cell(conf.at(kRespPackets), 1);
+    };
+
+    const opt::Bounds cube = opt::Bounds::coded_cube(6);
+    run_direct("genetic algorithm (direct)", [&](const DirectObjective& obj) {
+        opt::GeneticOptions g;
+        g.population = 30;
+        g.generations = 40;
+        g.seed = 5;
+        return opt::genetic_minimize([&obj](const num::Vector& x) { return obj(x); }, cube, g);
+    });
+    run_direct("simulated annealing (direct)", [&](const DirectObjective& obj) {
+        opt::AnnealOptions a;
+        a.moves_per_epoch = 25;
+        a.seed = 5;
+        return opt::simulated_annealing([&obj](const num::Vector& x) { return obj(x); }, cube,
+                                        num::Vector(6), a);
+    });
+    run_direct("pattern search (direct)", [&](const DirectObjective& obj) {
+        return opt::pattern_search([&obj](const num::Vector& x) { return obj(x); }, cube,
+                                   num::Vector(6));
+    });
+
+    t.print(std::cout);
+    std::cout << "\nExpected shape: the DoE flow reaches a comparable objective with\n"
+                 "an order of magnitude fewer simulator calls; the gap in wall time\n"
+                 "widens with simulation cost (the paper's HDL models run for\n"
+                 "minutes per evaluation, not milliseconds).\n";
+    return 0;
+}

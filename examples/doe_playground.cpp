@@ -1,0 +1,82 @@
+// doe_playground — domain example 3: the DoE/RSM machinery on its own,
+// without the node simulator: build designs, inspect their properties, fit
+// a known function and run the canonical analysis. A tour for users who
+// want the library's statistics layer for their own simulators.
+#include <cmath>
+#include <iostream>
+
+#include "core/report.hpp"
+#include "doe/composite.hpp"
+#include "doe/factorial.hpp"
+#include "doe/lhs.hpp"
+#include "doe/optimal.hpp"
+#include "rsm/diagnostics.hpp"
+#include "rsm/stepwise.hpp"
+#include "rsm/surface.hpp"
+
+using namespace ehdoe;
+
+int main() {
+    // --- 1. Design zoo ------------------------------------------------------
+    core::Table zoo("Design zoo for k = 4 factors");
+    zoo.headers({"design", "runs", "min pairwise distance", "log det X'X (quadratic)"});
+    const auto quad = num::quadratic_basis(4);
+    const auto show = [&](const char* name, const doe::Design& d) {
+        zoo.row()
+            .cell(name)
+            .cell(d.runs())
+            .cell(doe::min_pairwise_distance(d.points), 3)
+            .cell(doe::log_det_information(d, quad), 2);
+    };
+    show("2^4 full factorial + 3 centre", [] {
+        auto d = doe::full_factorial_2level(4);
+        d.add_center_points(3);
+        return d;
+    }());
+    show("CCD (rotatable)", doe::central_composite(4, {}));
+    show("Box-Behnken", doe::box_behnken(4));
+    show("LHS n=27 (maximin)", doe::latin_hypercube(27, 4, 42));
+    show("D-optimal n=18", doe::d_optimal(18, 4, quad, 42u).design);
+    zoo.print(std::cout);
+
+    // --- 2. Fit a known response, prune it, analyse it ----------------------
+    // truth: y = 5 + 2 x0 - x1 + 1.5 x0 x1 - 2 x0^2 (x2, x3 inert)
+    const auto truth = [](const num::Vector& x) {
+        return 5.0 + 2.0 * x[0] - x[1] + 1.5 * x[0] * x[1] - 2.0 * x[0] * x[0];
+    };
+    const doe::Design d = doe::central_composite(4, {});
+    std::vector<double> y(d.runs());
+    for (std::size_t i = 0; i < d.runs(); ++i) y[i] = truth(d.points.row(i));
+
+    const auto reduced =
+        rsm::backward_eliminate(rsm::ModelSpec(4, rsm::ModelOrder::Quadratic), d.points, y);
+    std::cout << "\nBackward elimination removed " << reduced.terms_removed
+              << " inert terms; surviving model:\n  " << reduced.fit.model.describe()
+              << "\n";
+
+    const auto diag = rsm::diagnose(reduced.fit);
+    core::Table coef("Surviving coefficients");
+    coef.headers({"term", "estimate", "t", "p"});
+    for (const auto& c : diag.coefficients) {
+        coef.row().cell(c.term).cell(c.estimate, 3).cell(c.t_value, 1).cell(c.p_value, 4);
+    }
+    coef.print(std::cout);
+
+    // --- 3. Canonical analysis ----------------------------------------------
+    doe::DesignSpace space({{"x0", -1.0, 1.0, false},
+                            {"x1", -1.0, 1.0, false},
+                            {"x2", -1.0, 1.0, false},
+                            {"x3", -1.0, 1.0, false}});
+    rsm::ResponseSurface surf(
+        rsm::fit_ols(rsm::ModelSpec(4, rsm::ModelOrder::Quadratic), d.points, y), space, "y");
+    if (const auto sp = surf.stationary_point()) {
+        std::cout << "\nStationary point at coded (" << sp->coded[0] << ", " << sp->coded[1]
+                  << ", ...), value " << sp->value << ", kind "
+                  << (sp->kind == rsm::StationaryKind::Maximum   ? "maximum"
+                      : sp->kind == rsm::StationaryKind::Minimum ? "minimum"
+                      : sp->kind == rsm::StationaryKind::Saddle  ? "saddle"
+                                                                 : "degenerate")
+                  << "\n";
+    }
+    return 0;
+}

@@ -1,0 +1,54 @@
+// ehdoe/core/report.hpp
+//
+// Aligned-column table / CSV emission shared by all benches and examples —
+// every reconstructed table and figure series in EXPERIMENTS.md is printed
+// through this.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ehdoe::core {
+
+/// A simple text table with typed cell helpers.
+class Table {
+public:
+    explicit Table(std::string title = {});
+
+    Table& headers(std::vector<std::string> names);
+
+    /// Start a new row; subsequent cell() calls append to it.
+    Table& row();
+    Table& cell(const std::string& text);
+    Table& cell(double value, int precision = 4);
+    Table& cell(std::size_t value);
+    Table& cell(int value);
+
+    /// Convenience: add a full row of doubles.
+    Table& row(const std::vector<double>& values, int precision = 4);
+
+    std::size_t rows() const { return cells_.size(); }
+    std::size_t columns() const { return headers_.size(); }
+    const std::string& title() const { return title_; }
+
+    /// Render with aligned columns.
+    void print(std::ostream& os) const;
+    /// Render as CSV (RFC-ish: quotes around cells containing commas).
+    void print_csv(std::ostream& os) const;
+
+private:
+    std::string title_;
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> cells_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Table& t);
+
+/// Format a double with fixed precision (helper used by benches directly).
+std::string format_double(double value, int precision = 4);
+
+/// Format seconds with an adaptive unit (ns/us/ms/s).
+std::string format_seconds(double seconds);
+
+}  // namespace ehdoe::core

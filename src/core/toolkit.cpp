@@ -1,0 +1,165 @@
+#include "core/toolkit.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "opt/nelder_mead.hpp"
+
+namespace ehdoe::core {
+
+DesignFlow::DesignFlow(doe::DesignSpace space, doe::Simulation simulation)
+    : DesignFlow(std::move(space), std::move(simulation), Options{}) {}
+
+DesignFlow::DesignFlow(doe::DesignSpace space, doe::Simulation simulation, Options options)
+    : space_(std::move(space)), simulation_(std::move(simulation)), options_(options) {
+    if (!simulation_) throw std::invalid_argument("DesignFlow: simulation required");
+}
+
+const doe::RunResults& DesignFlow::run_ccd() {
+    return run(doe::central_composite(space_.dimension(), options_.ccd));
+}
+
+const doe::RunResults& DesignFlow::run(const doe::Design& design) {
+    doe::RunnerOptions ro;
+    ro.threads = options_.runner_threads;
+    results_ = doe::run_design(space_, design, simulation_, ro);
+    simulator_calls_ += results_->simulations;
+    surfaces_.clear();  // stale fits die with their data
+    return *results_;
+}
+
+const doe::RunResults& DesignFlow::results() const {
+    if (!results_) throw std::logic_error("DesignFlow: no experiments run yet");
+    return *results_;
+}
+
+const rsm::ResponseSurface& DesignFlow::surface(const std::string& response) {
+    auto it = surfaces_.find(response);
+    if (it != surfaces_.end()) return it->second;
+    const doe::RunResults& res = results();
+    const std::vector<double> y = res.response(response);
+    const rsm::ModelSpec model(space_.dimension(), options_.order);
+    rsm::FitResult fit = rsm::fit_ols(model, res.design.points, y);
+    auto [pos, inserted] =
+        surfaces_.emplace(response, rsm::ResponseSurface(std::move(fit), space_, response));
+    (void)inserted;
+    return pos->second;
+}
+
+void DesignFlow::fit_all() {
+    for (const std::string& name : results().response_names) surface(name);
+}
+
+std::vector<std::string> DesignFlow::response_names() const { return results().response_names; }
+
+rsm::ValidationReport DesignFlow::validate(const std::string& response, std::size_t n_points) {
+    const rsm::ResponseSurface& s = surface(response);
+    const doe::Design probe =
+        doe::latin_hypercube(n_points, space_.dimension(), options_.seed ^ 0xA5A5u);
+    doe::RunnerOptions ro;
+    ro.threads = options_.runner_threads;
+    const doe::RunResults res = doe::run_points(space_, probe.points, simulation_, ro);
+    simulator_calls_ += res.simulations;
+    return rsm::validate_holdout(s.fit(), probe.points, res.response(response));
+}
+
+std::vector<std::pair<double, double>> DesignFlow::sweep(const std::string& response,
+                                                         const std::string& factor,
+                                                         const num::Vector& fixed_coded,
+                                                         std::size_t points) {
+    if (points < 2) throw std::invalid_argument("DesignFlow::sweep: points >= 2");
+    const rsm::ResponseSurface& s = surface(response);
+    const std::size_t fi = space_.index_of(factor);
+    std::vector<std::pair<double, double>> out;
+    out.reserve(points);
+    num::Vector x = fixed_coded;
+    for (std::size_t i = 0; i < points; ++i) {
+        const double c = -1.0 + 2.0 * static_cast<double>(i) / static_cast<double>(points - 1);
+        x[fi] = c;
+        out.emplace_back(space_.factor(fi).to_natural(c), s.value(x));
+    }
+    return out;
+}
+
+std::map<std::string, double> DesignFlow::predict_all(const num::Vector& coded) {
+    fit_all();
+    std::map<std::string, double> out;
+    for (const auto& [name, s] : surfaces_) out[name] = s.value(coded);
+    return out;
+}
+
+OptimizationOutcome DesignFlow::optimize(const std::string& objective, bool maximize,
+                                         const std::vector<ResponseConstraint>& constraints,
+                                         bool confirm_with_simulation) {
+    const rsm::ResponseSurface& obj_surface = surface(objective);
+    // Make sure constrained surfaces exist before building the closure.
+    for (const auto& c : constraints) surface(c.response);
+
+    // Penalty scale: the objective's observed spread keeps the penalty
+    // meaningfully dominant without destroying conditioning.
+    const std::vector<double> yobs = results().response(objective);
+    double ymin = yobs[0], ymax = yobs[0];
+    for (double v : yobs) {
+        ymin = std::min(ymin, v);
+        ymax = std::max(ymax, v);
+    }
+    const double spread = std::max(ymax - ymin, 1e-12);
+    const double penalty_w = 1e3 * spread;
+
+    std::size_t rsm_evals = 0;
+    auto penalized = [&](const num::Vector& x) {
+        ++rsm_evals;
+        double v = obj_surface.value(x);
+        if (maximize) v = -v;
+        for (const auto& c : constraints) {
+            const double r = surfaces_.at(c.response).value(x);
+            if (r < c.min) {
+                const double d = (c.min - r) / spread;
+                v += penalty_w * d * d;
+            }
+            if (r > c.max) {
+                const double d = (r - c.max) / spread;
+                v += penalty_w * d * d;
+            }
+        }
+        return v;
+    };
+
+    // Multi-start: grid scan winner + centre + 2^min(k,4) alternating corners.
+    const std::size_t k = space_.dimension();
+    const auto grid = obj_surface.grid_best(k <= 4 ? 7 : 5, maximize);
+    std::vector<num::Vector> starts{grid.coded, num::Vector(k)};
+    const std::size_t corner_count = std::size_t{1} << std::min<std::size_t>(k, 4);
+    for (std::size_t c = 0; c < corner_count; ++c) {
+        num::Vector corner(k);
+        for (std::size_t f = 0; f < k; ++f) corner[f] = ((c >> (f % 4)) & 1u) ? 0.9 : -0.9;
+        starts.push_back(std::move(corner));
+    }
+
+    const opt::Bounds bounds = opt::Bounds::coded_cube(k);
+    opt::OptResult best;
+    best.value = 1e300;
+    for (const num::Vector& s0 : starts) {
+        opt::OptResult r = opt::nelder_mead(penalized, bounds, s0);
+        if (r.value < best.value) best = std::move(r);
+    }
+
+    OptimizationOutcome out;
+    out.coded = best.x;
+    out.natural = space_.to_natural(best.x);
+    out.predicted = obj_surface.value(best.x);
+    out.rsm_evaluations = rsm_evals;
+    for (const auto& [name, s] : surfaces_) out.predicted_responses[name] = s.value(best.x);
+
+    if (confirm_with_simulation) {
+        const auto sim = simulation_(out.natural);
+        ++simulator_calls_;
+        ++out.simulator_calls;
+        const auto it = sim.find(objective);
+        if (it != sim.end()) out.confirmed = it->second;
+    }
+    out.simulator_calls += simulator_calls_;
+    return out;
+}
+
+}  // namespace ehdoe::core

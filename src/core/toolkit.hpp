@@ -1,0 +1,117 @@
+// ehdoe/core/toolkit.hpp
+//
+// The DoE-based design flow — the software toolkit the DATE'13 abstract
+// announces. One DesignFlow instance wraps a scenario's simulation and
+// design space and walks the paper's loop:
+//
+//   1. choose a DoE design (CCD by default),
+//   2. run the simulations once (the only costly phase),
+//   3. fit one response surface per performance indicator,
+//   4. validate against held-out simulations,
+//   5. explore: sweeps, slices, trade-off queries, constrained
+//      optimization — all on the RSMs, "practically instant",
+//   6. confirm chosen designs with a final simulation.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "doe/composite.hpp"
+#include "doe/factorial.hpp"
+#include "doe/lhs.hpp"
+#include "doe/runner.hpp"
+#include "opt/optimizer.hpp"
+#include "rsm/surface.hpp"
+#include "rsm/validate.hpp"
+
+namespace ehdoe::core {
+
+/// Constraint on a response for trade-off queries / optimization.
+struct ResponseConstraint {
+    std::string response;
+    double min = -1e300;
+    double max = 1e300;
+};
+
+/// Result of an on-RSM optimization, optionally simulation-confirmed.
+struct OptimizationOutcome {
+    num::Vector coded;            ///< optimal point (coded units)
+    num::Vector natural;          ///< same in natural units
+    double predicted = 0.0;       ///< RSM prediction of the objective
+    std::optional<double> confirmed;  ///< simulator value, if confirmation ran
+    std::map<std::string, double> predicted_responses;  ///< all RSMs at the point
+    std::size_t rsm_evaluations = 0;
+    std::size_t simulator_calls = 0;  ///< DoE runs + confirmation
+};
+
+class DesignFlow {
+public:
+    struct Options {
+        /// Face-centred by default: the factor ranges are hard physical
+        /// bounds (a negative dead-band or duty cycle is meaningless), so
+        /// axial points must stay on the cube.
+        doe::CcdOptions ccd{doe::CcdVariant::FaceCentred, doe::CcdAlpha::Rotatable, 4, true};
+        rsm::ModelOrder order = rsm::ModelOrder::Quadratic;
+        std::size_t runner_threads = 1;
+        std::uint64_t seed = 2013;
+    };
+
+    DesignFlow(doe::DesignSpace space, doe::Simulation simulation);
+    DesignFlow(doe::DesignSpace space, doe::Simulation simulation, Options options);
+
+    const doe::DesignSpace& space() const { return space_; }
+    const Options& options() const { return options_; }
+
+    // ---- phase 1+2: design + simulate -------------------------------------
+    /// Run a central composite design (the default flow).
+    const doe::RunResults& run_ccd();
+    /// Run an arbitrary design.
+    const doe::RunResults& run(const doe::Design& design);
+    /// The collected experiment data; throws before any run.
+    const doe::RunResults& results() const;
+    bool has_results() const { return results_.has_value(); }
+    /// Total simulator invocations so far (incl. validation/confirmation).
+    std::size_t simulator_calls() const { return simulator_calls_; }
+
+    // ---- phase 3: fit ------------------------------------------------------
+    /// Fit (and cache) the RSM of a named response.
+    const rsm::ResponseSurface& surface(const std::string& response);
+    /// Fit every response collected by the runner.
+    void fit_all();
+    /// Names of all responses in the collected data.
+    std::vector<std::string> response_names() const;
+
+    // ---- phase 4: validate -------------------------------------------------
+    /// Run `n` fresh LHS simulations and report the RSM's predictive error.
+    rsm::ValidationReport validate(const std::string& response, std::size_t n_points);
+
+    // ---- phase 5: explore --------------------------------------------------
+    /// 1-D sweep of a response along one factor (others fixed, coded units).
+    std::vector<std::pair<double, double>> sweep(const std::string& response,
+                                                 const std::string& factor,
+                                                 const num::Vector& fixed_coded,
+                                                 std::size_t points = 41);
+
+    /// Constrained optimization on the RSMs (multi-start Nelder-Mead with
+    /// quadratic penalties); optionally confirm the winner by simulation.
+    OptimizationOutcome optimize(const std::string& objective, bool maximize,
+                                 const std::vector<ResponseConstraint>& constraints = {},
+                                 bool confirm_with_simulation = true);
+
+    /// Predict every fitted response at a coded point (instant).
+    std::map<std::string, double> predict_all(const num::Vector& coded);
+
+private:
+    const rsm::ResponseSurface& surface_checked(const std::string& response) const;
+
+    doe::DesignSpace space_;
+    doe::Simulation simulation_;
+    Options options_;
+    std::optional<doe::RunResults> results_;
+    std::map<std::string, rsm::ResponseSurface> surfaces_;
+    std::size_t simulator_calls_ = 0;
+};
+
+}  // namespace ehdoe::core

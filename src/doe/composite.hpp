@@ -1,0 +1,48 @@
+// ehdoe/doe/composite.hpp
+//
+// Second-order designs: central composite designs (the workhorse of the
+// paper's RSM flow) and Box-Behnken designs. Both support fitting a full
+// quadratic model with far fewer runs than a 3^k factorial — the "moderate
+// number of simulations" the abstract emphasizes.
+#pragma once
+
+#include "doe/design.hpp"
+
+namespace ehdoe::doe {
+
+/// Placement of the axial (star) points of a CCD.
+enum class CcdVariant {
+    Circumscribed,  ///< axial points at +-alpha (may exceed the cube)
+    Inscribed,      ///< cube shrunk so axial points land at +-1
+    FaceCentred,    ///< alpha = 1 (axial points on the faces)
+};
+
+/// Choice of alpha for circumscribed designs.
+enum class CcdAlpha {
+    Rotatable,      ///< alpha = (n_factorial)^(1/4): uniform prediction variance on spheres
+    Orthogonal,     ///< alpha making quadratic estimates uncorrelated
+    Unit,           ///< alpha = 1 (equivalent to face-centred)
+};
+
+struct CcdOptions {
+    CcdVariant variant = CcdVariant::Circumscribed;
+    CcdAlpha alpha = CcdAlpha::Rotatable;
+    std::size_t center_points = 4;
+    /// Use a resolution-V fractional factorial core when k >= 5 (halves the
+    /// cube portion without aliasing quadratic-model terms).
+    bool fractional_core = true;
+};
+
+/// Central composite design for k factors.
+/// Runs = cube core + 2k axial + center_points.
+Design central_composite(std::size_t k, const CcdOptions& options = {});
+
+/// The alpha value a given CCD configuration uses (for reporting/tests).
+double ccd_alpha_value(std::size_t k, const CcdOptions& options);
+
+/// Box-Behnken design for k >= 3 factors: all (+-1, +-1) pairs on factor
+/// pairs with the rest at 0, plus centre points. Never leaves the cube and
+/// never visits corners (useful when corners are infeasible).
+Design box_behnken(std::size_t k, std::size_t center_points = 3);
+
+}  // namespace ehdoe::doe

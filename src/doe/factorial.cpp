@@ -1,0 +1,254 @@
+#include "doe/factorial.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cctype>
+#include <stdexcept>
+
+namespace ehdoe::doe {
+
+Design full_factorial_2level(std::size_t k) {
+    if (k == 0 || k > 20) throw std::invalid_argument("full_factorial_2level: k in 1..20");
+    const std::size_t n = std::size_t{1} << k;
+    Design d;
+    d.kind = "full-factorial(2^" + std::to_string(k) + ")";
+    d.points = Matrix(n, k);
+    for (std::size_t run = 0; run < n; ++run) {
+        for (std::size_t f = 0; f < k; ++f) {
+            d.points(run, f) = ((run >> f) & 1u) ? 1.0 : -1.0;
+        }
+    }
+    return d;
+}
+
+Design full_factorial(const std::vector<std::size_t>& levels) {
+    if (levels.empty()) throw std::invalid_argument("full_factorial: needs >= 1 factor");
+    std::size_t n = 1;
+    for (std::size_t l : levels) {
+        if (l < 2) throw std::invalid_argument("full_factorial: each factor needs >= 2 levels");
+        if (n > 2'000'000 / l) throw std::invalid_argument("full_factorial: design too large");
+        n *= l;
+    }
+    const std::size_t k = levels.size();
+    Design d;
+    d.kind = "full-factorial(mixed)";
+    d.points = Matrix(n, k);
+    std::vector<std::size_t> idx(k, 0);
+    for (std::size_t run = 0; run < n; ++run) {
+        for (std::size_t f = 0; f < k; ++f) {
+            const double denom = static_cast<double>(levels[f] - 1);
+            d.points(run, f) = -1.0 + 2.0 * static_cast<double>(idx[f]) / denom;
+        }
+        // Odometer increment.
+        for (std::size_t f = 0; f < k; ++f) {
+            if (++idx[f] < levels[f]) break;
+            idx[f] = 0;
+        }
+    }
+    return d;
+}
+
+Design full_factorial(std::size_t k, std::size_t levels) {
+    Design d = full_factorial(std::vector<std::size_t>(k, levels));
+    d.kind = "full-factorial(" + std::to_string(levels) + "^" + std::to_string(k) + ")";
+    return d;
+}
+
+namespace {
+
+/// Factor letter -> index (A=0, B=1, ..., skipping I which means identity).
+std::size_t letter_index(char c) {
+    c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    if (c < 'A' || c > 'Z' || c == 'I')
+        throw std::invalid_argument(std::string("fractional_factorial: bad factor letter '") +
+                                    c + "'");
+    std::size_t idx = static_cast<std::size_t>(c - 'A');
+    if (c > 'I') --idx;  // I is skipped in the conventional naming
+    return idx;
+}
+
+}  // namespace
+
+FractionalFactorial fractional_factorial(std::size_t k,
+                                         const std::vector<std::string>& generators) {
+    const std::size_t p = generators.size();
+    if (k == 0 || k > 25) throw std::invalid_argument("fractional_factorial: k in 1..25");
+    if (p >= k) throw std::invalid_argument("fractional_factorial: p < k required");
+    const std::size_t kb = k - p;  // base factors
+    if (kb > 20) throw std::invalid_argument("fractional_factorial: too many base runs");
+
+    // Parse generators: "E=ABCD" -> target index, source mask over base.
+    std::vector<std::uint32_t> gen_mask(p, 0);
+    std::vector<std::size_t> gen_target(p, 0);
+    std::vector<bool> is_target(k, false);
+    for (std::size_t g = 0; g < p; ++g) {
+        const std::string& s = generators[g];
+        const auto eq = s.find('=');
+        if (eq == std::string::npos || eq == 0 || eq + 1 >= s.size()) {
+            throw std::invalid_argument("fractional_factorial: generator must look like E=ABCD");
+        }
+        std::string lhs = s.substr(0, eq);
+        // Trim whitespace.
+        std::erase_if(lhs, [](unsigned char c) { return std::isspace(c); });
+        if (lhs.size() != 1)
+            throw std::invalid_argument("fractional_factorial: one target letter per generator");
+        const std::size_t target = letter_index(lhs[0]);
+        if (target < kb)
+            throw std::invalid_argument("fractional_factorial: target must be a generated factor");
+        if (target >= k)
+            throw std::invalid_argument("fractional_factorial: target beyond k factors");
+        if (is_target[target])
+            throw std::invalid_argument("fractional_factorial: duplicate generator target");
+        is_target[target] = true;
+        gen_target[g] = target;
+
+        std::uint32_t mask = 0;
+        for (std::size_t i = eq + 1; i < s.size(); ++i) {
+            if (std::isspace(static_cast<unsigned char>(s[i]))) continue;
+            const std::size_t src = letter_index(s[i]);
+            if (src >= kb) {
+                throw std::invalid_argument(
+                    "fractional_factorial: generators may reference base factors only");
+            }
+            mask ^= (1u << src);  // squared letters cancel, per group algebra
+        }
+        if (mask == 0) throw std::invalid_argument("fractional_factorial: empty generator word");
+        gen_mask[g] = mask;
+    }
+
+    FractionalFactorial out;
+    const std::size_t n = std::size_t{1} << kb;
+    out.design.kind = "fractional-factorial(2^(" + std::to_string(k) + "-" +
+                      std::to_string(p) + "))";
+    out.design.points = Matrix(n, k);
+    for (std::size_t run = 0; run < n; ++run) {
+        // Base columns straight from the counter bits.
+        for (std::size_t f = 0; f < kb; ++f) {
+            out.design.points(run, f) = ((run >> f) & 1u) ? 1.0 : -1.0;
+        }
+        // Generated columns as signed products of base columns.
+        for (std::size_t g = 0; g < p; ++g) {
+            double prod = 1.0;
+            for (std::size_t f = 0; f < kb; ++f) {
+                if ((gen_mask[g] >> f) & 1u) prod *= out.design.points(run, f);
+            }
+            out.design.points(run, gen_target[g]) = prod;
+        }
+    }
+
+    // Defining contrast subgroup: words w_g = gen_mask_g | (1 << target_g)
+    // over all k factors; the subgroup is all XOR combinations. Resolution =
+    // min weight of a non-identity word.
+    if (p > 0) {
+        std::vector<std::uint32_t> words(p);
+        for (std::size_t g = 0; g < p; ++g) {
+            words[g] = gen_mask[g] | (1u << gen_target[g]);
+        }
+        unsigned res = 32;
+        for (std::uint32_t combo = 1; combo < (1u << p); ++combo) {
+            std::uint32_t w = 0;
+            for (std::size_t g = 0; g < p; ++g) {
+                if ((combo >> g) & 1u) w ^= words[g];
+            }
+            out.defining_words.push_back(w);
+            res = std::min(res, static_cast<unsigned>(std::popcount(w)));
+        }
+        out.resolution = res;
+    }
+    return out;
+}
+
+num::Matrix hadamard(std::size_t n) {
+    if (n == 0) throw std::invalid_argument("hadamard: n > 0");
+    if (n == 1) return Matrix{{1.0}};
+    if (n == 2) return Matrix{{1.0, 1.0}, {1.0, -1.0}};
+    if (n % 2 != 0) throw std::invalid_argument("hadamard: order must be 1, 2 or divisible by 4");
+
+    // Sylvester doubling when n/2 is constructible.
+    if (n % 4 == 0) {
+        // Try Paley first for n = p + 1 with p prime, p % 4 == 3.
+        const std::size_t pcand = n - 1;
+        auto is_prime = [](std::size_t v) {
+            if (v < 2) return false;
+            for (std::size_t d = 2; d * d <= v; ++d) {
+                if (v % d == 0) return false;
+            }
+            return true;
+        };
+        if (is_prime(pcand) && pcand % 4 == 3) {
+            const std::size_t pp = pcand;
+            // Quadratic residue character chi(x) over GF(p).
+            std::vector<int> chi(pp, -1);
+            chi[0] = 0;
+            for (std::size_t x = 1; x < pp; ++x) chi[(x * x) % pp] = 1;
+            // Paley I construction: H = I + S with the skew matrix
+            // S = [[0, 1^T], [-1, Q]], Q the Jacobsthal matrix
+            // Q_ij = chi(i - j). Then H H^T = (p+1) I.
+            Matrix h(n, n, 1.0);
+            for (std::size_t i = 0; i < pp; ++i) {
+                h(i + 1, 0) = -1.0;
+                for (std::size_t j = 0; j < pp; ++j) {
+                    if (i == j) {
+                        h(i + 1, j + 1) = 1.0;  // Q diagonal 0 + identity
+                    } else {
+                        const std::size_t diff = (i + pp - j) % pp;
+                        h(i + 1, j + 1) = chi[diff] > 0 ? 1.0 : -1.0;
+                    }
+                }
+            }
+            return h;
+        }
+        // Fall back to doubling.
+        Matrix half = hadamard(n / 2);
+        Matrix h(n, n);
+        const std::size_t m = n / 2;
+        for (std::size_t i = 0; i < m; ++i) {
+            for (std::size_t j = 0; j < m; ++j) {
+                h(i, j) = half(i, j);
+                h(i, j + m) = half(i, j);
+                h(i + m, j) = half(i, j);
+                h(i + m, j + m) = -half(i, j);
+            }
+        }
+        return h;
+    }
+    throw std::invalid_argument("hadamard: unsupported order " + std::to_string(n));
+}
+
+Design plackett_burman(std::size_t k) {
+    if (k == 0 || k > 47) throw std::invalid_argument("plackett_burman: k in 1..47");
+    // Smallest constructible Hadamard order > k.
+    std::size_t n = 4;
+    while (n <= k + 1 || [&] {
+        try {
+            hadamard(n);
+            return false;
+        } catch (const std::invalid_argument&) {
+            return true;
+        }
+    }()) {
+        n += 4;
+        if (n > 64) throw std::invalid_argument("plackett_burman: no constructible order");
+    }
+    Matrix h = hadamard(n);
+    // Normalize: make row 0 and column 0 all +1 by flipping rows/columns.
+    for (std::size_t j = 0; j < n; ++j) {
+        if (h(0, j) < 0) {
+            for (std::size_t i = 0; i < n; ++i) h(i, j) = -h(i, j);
+        }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        if (h(i, 0) < 0) {
+            for (std::size_t j = 0; j < n; ++j) h(i, j) = -h(i, j);
+        }
+    }
+    Design d;
+    d.kind = "plackett-burman(n=" + std::to_string(n) + ")";
+    d.points = Matrix(n, k);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t f = 0; f < k; ++f) d.points(i, f) = h(i, f + 1);
+    }
+    return d;
+}
+
+}  // namespace ehdoe::doe

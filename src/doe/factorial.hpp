@@ -1,0 +1,57 @@
+// ehdoe/doe/factorial.hpp
+//
+// Classical factorial designs:
+//  * full 2-level and general multi-level factorials,
+//  * regular two-level fractional factorials 2^(k-p) built from generator
+//    strings ("E=ABCD"), with design-resolution computation from the
+//    defining contrast subgroup,
+//  * Plackett-Burman screening designs via Hadamard matrices
+//    (Sylvester doubling + Paley construction).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "doe/design.hpp"
+
+namespace ehdoe::doe {
+
+/// Full two-level factorial: 2^k runs at every corner of the cube.
+/// Throws for k > 20 (1M runs) — that is never what you want.
+Design full_factorial_2level(std::size_t k);
+
+/// General full factorial with `levels[i]` equally spaced levels per factor
+/// (each >= 2), coded onto [-1, 1].
+Design full_factorial(const std::vector<std::size_t>& levels);
+
+/// Convenience: l^k factorial.
+Design full_factorial(std::size_t k, std::size_t levels);
+
+/// A regular 2^(k-p) fractional factorial.
+///
+/// `k` is the total number of factors. Base factors are named A, B, C, ...
+/// (skipping I); each generator string defines one additional factor as a
+/// product of base factors, e.g. {"E=ABCD"} gives the 2^(5-1) half
+/// fraction. Letters must reference base factors only.
+struct FractionalFactorial {
+    Design design;
+    /// Design resolution (3 = III, 4 = IV, 5 = V, ...). 0 when p == 0.
+    unsigned resolution = 0;
+    /// The defining words (as factor-index bitmasks), excluding identity.
+    std::vector<std::uint32_t> defining_words;
+};
+FractionalFactorial fractional_factorial(std::size_t k,
+                                         const std::vector<std::string>& generators);
+
+/// Hadamard matrix of order n (entries +-1, H H^T = n I). Supported orders:
+/// 1, 2 and any n = 2^a * m where the recursion reaches Paley orders
+/// (p+1, p prime, p % 4 == 3) or 2-power orders. Throws for unsupported n.
+num::Matrix hadamard(std::size_t n);
+
+/// Plackett-Burman screening design for `k` factors: the smallest supported
+/// Hadamard order N > k gives N runs; columns 2..k+1 (normalized so row 1 is
+/// all +1) are the factor columns.
+Design plackett_burman(std::size_t k);
+
+}  // namespace ehdoe::doe

@@ -1,0 +1,54 @@
+// ehdoe/doe/runner.hpp
+//
+// Executes a design: maps every design point (in natural units) through a
+// user-supplied simulation functor and collects the responses. This is the
+// bridge between the DoE combinatorics and the node co-simulation, with
+// optional std::async parallelism (simulations are independent) and
+// optional replicated runs with observation noise for robustness studies.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "doe/design.hpp"
+#include "numerics/stats.hpp"
+
+namespace ehdoe::doe {
+
+/// A simulation: natural-units factor vector -> named responses.
+using Simulation = std::function<std::map<std::string, double>(const Vector& natural)>;
+
+/// Collected responses of a design execution, column-per-response.
+struct RunResults {
+    Design design;                       ///< the (coded) design that was run
+    Matrix natural;                      ///< natural-unit points actually simulated
+    std::vector<std::string> response_names;
+    Matrix responses;                    ///< runs x responses
+    double wall_seconds = 0.0;           ///< total execution time
+    std::size_t simulations = 0;         ///< simulator invocations
+
+    /// Column of a named response; throws for unknown names.
+    std::vector<double> response(const std::string& name) const;
+    std::size_t response_index(const std::string& name) const;
+};
+
+struct RunnerOptions {
+    /// Number of worker threads; 1 = serial. Simulations must be thread-safe
+    /// pure functions of their input (all toolkit simulations are).
+    std::size_t threads = 1;
+    /// Replicates per design point (responses averaged; useful when the
+    /// simulation itself is stochastic).
+    std::size_t replicates = 1;
+};
+
+/// Run `sim` at every point of `design` mapped through `space`.
+RunResults run_design(const DesignSpace& space, const Design& design, const Simulation& sim,
+                      const RunnerOptions& options = {});
+
+/// Run `sim` at explicit *coded* points (validation sets, sweeps).
+RunResults run_points(const DesignSpace& space, const Matrix& coded_points,
+                      const Simulation& sim, const RunnerOptions& options = {});
+
+}  // namespace ehdoe::doe

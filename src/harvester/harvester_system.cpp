@@ -1,0 +1,243 @@
+#include "harvester/harvester_system.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "numerics/linalg.hpp"
+
+namespace ehdoe::harvester {
+
+namespace {
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+}
+
+void HarvesterCircuitParams::validate() const {
+    generator.validate();
+    multiplier.validate();
+    if (!(storage_capacitance >= 0.0))
+        throw std::invalid_argument("HarvesterCircuitParams: storage_capacitance >= 0");
+    if (!(storage_leakage > 0.0))
+        throw std::invalid_argument("HarvesterCircuitParams: storage_leakage > 0");
+}
+
+HarvesterCircuit::HarvesterCircuit(HarvesterCircuitParams params)
+    : params_(std::move(params)),
+      net_(params_.multiplier, params_.storage_capacitance),
+      spring_k_(params_.generator.spring_constant()) {
+    params_.validate();
+    cinv_ = num::LuFactor(net_.capacitance()).inverse();
+}
+
+void HarvesterCircuit::set_spring_constant(double k) {
+    if (!(k > 0.0)) throw std::invalid_argument("HarvesterCircuit: spring constant > 0");
+    spring_k_ = k;
+}
+
+void HarvesterCircuit::set_resonant_frequency(double f_hz) {
+    if (!(f_hz > 0.0)) throw std::invalid_argument("HarvesterCircuit: resonant frequency > 0");
+    const double w = kTwoPi * f_hz;
+    spring_k_ = params_.generator.mass * w * w;
+}
+
+double HarvesterCircuit::resonant_frequency() const {
+    return std::sqrt(spring_k_ / params_.generator.mass) / kTwoPi;
+}
+
+double HarvesterCircuit::load_power(const num::Vector& x) const {
+    if (params_.load_resistance <= 0.0) return 0.0;
+    const double v = output_voltage(x);
+    return v * v / params_.load_resistance;
+}
+
+num::Vector HarvesterCircuit::initial_state(double v_store0) const {
+    num::Vector x(state_dim());
+    const std::size_t n = params_.multiplier.stages;
+    // Pre-charge the DC column proportionally (equal voltage per store cap).
+    for (std::size_t j = 1; j <= n; ++j) {
+        x[idx_node(net_.node_d(j))] = v_store0 * static_cast<double>(j) / static_cast<double>(n);
+    }
+    return x;
+}
+
+void HarvesterCircuit::assemble(std::uint32_t seg, num::Matrix& a, num::Matrix& b) const {
+    const MicrogeneratorParams& g = params_.generator;
+    const std::size_t m_nodes = net_.num_nodes();
+
+    // Mechanical rows.
+    a(0, 1) = 1.0;
+    a(1, 0) = -spring_k_ / g.mass;
+    a(1, 1) = -g.parasitic_damping() / g.mass;
+    a(1, 2) = -g.coupling / g.mass;
+    b(1, 0) = -1.0;  // - a(t)
+
+    // Coil: L i' = Phi w - R_c i - v0.
+    const double l = std::max(g.coil_inductance, 1e-6);  // keep the ODE explicit
+    a(2, 1) = g.coupling / l;
+    a(2, 2) = -g.coil_resistance / l;
+    a(2, idx_node(net_.node_v0())) = -1.0 / l;
+
+    // Node equations: C v' = G(seg) v + s(seg) + e_{v0} i_L - e_{out} i_load.
+    num::Matrix gmat(m_nodes, m_nodes);
+    num::Vector svec(m_nodes);
+    net_.stamp_pwl(seg, gmat, svec);
+    // Storage leakage and optional resistive load at the output node.
+    double gout = 1.0 / params_.storage_leakage;
+    if (params_.load_resistance > 0.0) gout += 1.0 / params_.load_resistance;
+    gmat(net_.output_node(), net_.output_node()) -= gout;
+
+    // v' = Cinv (G v + ...): fill the node block of A.
+    for (std::size_t r = 0; r < m_nodes; ++r) {
+        for (std::size_t c = 0; c < m_nodes; ++c) {
+            double acc = 0.0;
+            for (std::size_t k = 0; k < m_nodes; ++k) acc += cinv_(r, k) * gmat(k, c);
+            a(idx_node(r), idx_node(c)) = acc;
+        }
+        // Coil current enters node v0.
+        a(idx_node(r), 2) = cinv_(r, net_.node_v0());
+        // Load current leaves the output node (input 1).
+        b(idx_node(r), 1) = -cinv_(r, net_.output_node());
+        // Constant injections from on-diode companion sources (input 2 == 1).
+        double sc = 0.0;
+        for (std::size_t k = 0; k < m_nodes; ++k) sc += cinv_(r, k) * svec[k];
+        b(idx_node(r), 2) = sc;
+    }
+}
+
+sim::PwlSystem HarvesterCircuit::make_pwl_system() const {
+    sim::PwlSystem sys;
+    sys.state_dim = state_dim();
+    sys.input_dim = kInputDim;
+    sys.switches.assign(net_.diodes().size(),
+                        sim::PwlSwitch{params_.multiplier.diode.v_on});
+    // The PwlSystem closures capture `this`; the circuit must outlive the
+    // engine, which every call site in the toolkit guarantees by owning both.
+    sys.assemble = [this](std::uint32_t seg, num::Matrix& a, num::Matrix& b) {
+        assemble(seg, a, b);
+    };
+    sys.branch_voltage = [this](std::size_t k, const num::Vector& x) {
+        // Node voltages live at offset 3 in the state vector.
+        const DiodeBranch& d = net_.diodes()[k];
+        const double va = d.anode >= 0 ? x[idx_node(static_cast<std::size_t>(d.anode))] : 0.0;
+        const double vc = d.cathode >= 0 ? x[idx_node(static_cast<std::size_t>(d.cathode))] : 0.0;
+        return va - vc;
+    };
+    return sys;
+}
+
+num::OdeRhs HarvesterCircuit::make_nonlinear_rhs(std::function<double(double)> accel,
+                                                 std::function<double(double)> load_current) const {
+    if (!accel) throw std::invalid_argument("make_nonlinear_rhs: accel required");
+    const MicrogeneratorParams& g = params_.generator;
+    const double l = std::max(g.coil_inductance, 1e-6);
+    const std::size_t m_nodes = net_.num_nodes();
+
+    return [this, accel = std::move(accel), load_current = std::move(load_current), g, l,
+            m_nodes](double t, const num::Vector& x) {
+        num::Vector dx(x.size());
+        const double z = x[0], w = x[1], il = x[2];
+        const double v0 = x[idx_node(net_.node_v0())];
+
+        dx[0] = w;
+        dx[1] = (-spring_k_ * z - g.parasitic_damping() * w - g.coupling * il) / g.mass -
+                accel(t);
+        dx[2] = (g.coupling * w - g.coil_resistance * il - v0) / l;
+
+        // Node injections.
+        num::Vector v(m_nodes);
+        for (std::size_t r = 0; r < m_nodes; ++r) v[r] = x[idx_node(r)];
+        num::Vector inject(m_nodes);
+        net_.add_shockley_currents(v, inject);
+        inject[net_.node_v0()] += il;
+        const double vout = v[net_.output_node()];
+        inject[net_.output_node()] -= vout / params_.storage_leakage;
+        if (params_.load_resistance > 0.0) {
+            inject[net_.output_node()] -= vout / params_.load_resistance;
+        }
+        if (load_current) inject[net_.output_node()] -= load_current(t);
+
+        // v' = Cinv * inject.
+        for (std::size_t r = 0; r < m_nodes; ++r) {
+            double acc = 0.0;
+            for (std::size_t k = 0; k < m_nodes; ++k) acc += cinv_(r, k) * inject[k];
+            dx[idx_node(r)] = acc;
+        }
+        return dx;
+    };
+}
+
+std::function<num::Vector(double)> HarvesterCircuit::make_input(
+    std::function<double(double)> accel, std::function<double(double)> load_current) const {
+    if (!accel) throw std::invalid_argument("make_input: accel required");
+    return [accel = std::move(accel), load_current = std::move(load_current)](double t) {
+        num::Vector u(kInputDim);
+        u[0] = accel(t);
+        u[1] = load_current ? load_current(t) : 0.0;
+        u[2] = 1.0;
+        return u;
+    };
+}
+
+// ------------------------------------------------------------ PowerFlowModel
+
+PowerFlowModel::PowerFlowModel(Params params) : params_{std::move(params), 0.0} {
+    params_.p.generator.validate();
+    params_.p.multiplier.validate();
+    if (!(params_.p.converter_efficiency > 0.0 && params_.p.converter_efficiency <= 1.0)) {
+        throw std::invalid_argument("PowerFlowModel: converter_efficiency in (0,1]");
+    }
+    params_.r_eq = params_.p.equivalent_load > 0.0
+                       ? params_.p.equivalent_load
+                       : optimal_load_resistance(params_.p.generator);
+}
+
+double PowerFlowModel::open_circuit_voltage(double f_exc_hz, double f_res_hz,
+                                            double accel_amp) const {
+    const MicrogeneratorParams& g = params_.p.generator;
+    const double w = kTwoPi * f_res_hz;
+    const double k_tuned = g.mass * w * w;
+    const SteadyState ss =
+        steady_state_response(g, accel_amp, f_exc_hz, params_.r_eq, k_tuned);
+    // Peak AC voltage presented to the multiplier input.
+    const double v_pk = ss.current_amplitude * params_.r_eq;
+    const double per_stage = v_pk - params_.p.multiplier.diode.v_on;
+    if (per_stage <= 0.0) return 0.0;
+    return params_.p.multiplier.ideal_gain() * per_stage;
+}
+
+double PowerFlowModel::power(double f_exc_hz, double f_res_hz, double accel_amp,
+                             double v_store) const {
+    if (!(v_store >= 0.0)) throw std::invalid_argument("PowerFlowModel::power: v_store >= 0");
+    const MicrogeneratorParams& g = params_.p.generator;
+    const double w = kTwoPi * f_res_hz;
+    const double k_tuned = g.mass * w * w;
+    const SteadyState ss =
+        steady_state_response(g, accel_amp, f_exc_hz, params_.r_eq, k_tuned);
+
+    const double v_oc = open_circuit_voltage(f_exc_hz, f_res_hz, accel_amp);
+    if (v_oc <= 0.0 || v_store >= v_oc) return 0.0;
+
+    // Thevenin output model: matched power (at v = V_oc/2) equals
+    // eta0 * P_load of the linear model.
+    const double p_matched = params_.p.converter_efficiency * ss.power_load;
+    if (p_matched <= 0.0) return 0.0;
+    const double r_out = v_oc * v_oc / (4.0 * p_matched);
+    return v_store * (v_oc - v_store) / r_out;
+}
+
+double PowerFlowModel::calibrate(double f_exc_hz, double f_res_hz, double accel_amp,
+                                 double v_store, double measured_power) {
+    if (!(measured_power > 0.0))
+        throw std::invalid_argument("PowerFlowModel::calibrate: measured_power > 0");
+    const double predicted = power(f_exc_hz, f_res_hz, accel_amp, v_store);
+    if (predicted <= 0.0) {
+        throw std::runtime_error(
+            "PowerFlowModel::calibrate: model predicts zero power at the calibration point");
+    }
+    const double scale = measured_power / predicted;
+    params_.p.converter_efficiency =
+        std::min(1.0, params_.p.converter_efficiency * scale);
+    return scale;
+}
+
+}  // namespace ehdoe::harvester

@@ -1,0 +1,131 @@
+#include "harvester/multiplier.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ehdoe::harvester {
+
+double DiodeParams::shockley_current(double v) const {
+    const double nvt = ideality * thermal_voltage;
+    if (v <= linearize_above) {
+        return saturation_current * (std::exp(v / nvt) - 1.0);
+    }
+    // Tangent continuation beyond the linearization knee: keeps Newton
+    // iterations finite when a step overshoots into deep forward bias.
+    const double e = std::exp(linearize_above / nvt);
+    const double i0 = saturation_current * (e - 1.0);
+    const double g0 = saturation_current * e / nvt;
+    return i0 + g0 * (v - linearize_above);
+}
+
+double DiodeParams::pwl_current(double v) const {
+    if (v < v_on) return g_off * v;
+    return (v - v_on) / r_on + g_off * v_on;
+}
+
+void MultiplierParams::validate() const {
+    if (stages == 0 || stages > 15)
+        throw std::invalid_argument("MultiplierParams: stages in 1..15");
+    if (!(stage_capacitance > 0.0))
+        throw std::invalid_argument("MultiplierParams: stage_capacitance > 0");
+    if (!(parasitic_capacitance > 0.0))
+        throw std::invalid_argument("MultiplierParams: parasitic_capacitance > 0");
+    if (!(diode.r_on > 0.0)) throw std::invalid_argument("MultiplierParams: diode r_on > 0");
+    if (!(diode.v_on >= 0.0)) throw std::invalid_argument("MultiplierParams: diode v_on >= 0");
+    if (!(diode.g_off >= 0.0)) throw std::invalid_argument("MultiplierParams: diode g_off >= 0");
+    if (!(diode.saturation_current > 0.0))
+        throw std::invalid_argument("MultiplierParams: diode I_s > 0");
+}
+
+MultiplierNetwork::MultiplierNetwork(MultiplierParams params, double storage_capacitance)
+    : params_(params) {
+    params_.validate();
+    if (!(storage_capacitance >= 0.0))
+        throw std::invalid_argument("MultiplierNetwork: storage_capacitance >= 0");
+
+    const std::size_t n = params_.stages;
+    const std::size_t m = num_nodes();
+    cmat_ = num::Matrix(m, m);
+
+    auto stamp_cap = [this](int p, int q, double c) {
+        if (p >= 0) cmat_(static_cast<std::size_t>(p), static_cast<std::size_t>(p)) += c;
+        if (q >= 0) cmat_(static_cast<std::size_t>(q), static_cast<std::size_t>(q)) += c;
+        if (p >= 0 && q >= 0) {
+            cmat_(static_cast<std::size_t>(p), static_cast<std::size_t>(q)) -= c;
+            cmat_(static_cast<std::size_t>(q), static_cast<std::size_t>(p)) -= c;
+        }
+    };
+
+    const double cs = params_.stage_capacitance;
+    // Push column: v0 - a1, a1 - a2, ...
+    stamp_cap(static_cast<int>(node_v0()), static_cast<int>(node_a(1)), cs);
+    for (std::size_t j = 2; j <= n; ++j) {
+        stamp_cap(static_cast<int>(node_a(j - 1)), static_cast<int>(node_a(j)), cs);
+    }
+    // Store column: gnd - d1, d1 - d2, ...
+    stamp_cap(-1, static_cast<int>(node_d(1)), cs);
+    for (std::size_t j = 2; j <= n; ++j) {
+        stamp_cap(static_cast<int>(node_d(j - 1)), static_cast<int>(node_d(j)), cs);
+    }
+    // Parasitics on the AC column keep the capacitance matrix SPD.
+    stamp_cap(static_cast<int>(node_v0()), -1, params_.parasitic_capacitance);
+    for (std::size_t j = 1; j <= n; ++j) {
+        stamp_cap(static_cast<int>(node_a(j)), -1, params_.parasitic_capacitance);
+    }
+    // Storage supercapacitor across the DC output.
+    if (storage_capacitance > 0.0) {
+        stamp_cap(static_cast<int>(output_node()), -1, storage_capacitance);
+    }
+
+    // Diode chain: D_{2j-1}: d_{j-1} -> a_j (d_0 = gnd), D_{2j}: a_j -> d_j.
+    diodes_.reserve(2 * n);
+    for (std::size_t j = 1; j <= n; ++j) {
+        const int dprev = (j == 1) ? -1 : static_cast<int>(node_d(j - 1));
+        diodes_.push_back(DiodeBranch{dprev, static_cast<int>(node_a(j))});
+        diodes_.push_back(
+            DiodeBranch{static_cast<int>(node_a(j)), static_cast<int>(node_d(j))});
+    }
+}
+
+double MultiplierNetwork::branch_voltage(std::size_t k, const num::Vector& v) const {
+    const DiodeBranch& d = diodes_.at(k);
+    const double va = d.anode >= 0 ? v[static_cast<std::size_t>(d.anode)] : 0.0;
+    const double vc = d.cathode >= 0 ? v[static_cast<std::size_t>(d.cathode)] : 0.0;
+    return va - vc;
+}
+
+void MultiplierNetwork::add_shockley_currents(const num::Vector& v, num::Vector& inject) const {
+    for (std::size_t k = 0; k < diodes_.size(); ++k) {
+        const double i = params_.diode.shockley_current(branch_voltage(k, v));
+        const DiodeBranch& d = diodes_[k];
+        if (d.anode >= 0) inject[static_cast<std::size_t>(d.anode)] -= i;
+        if (d.cathode >= 0) inject[static_cast<std::size_t>(d.cathode)] += i;
+    }
+}
+
+void MultiplierNetwork::stamp_pwl(std::uint32_t seg, num::Matrix& g, num::Vector& s) const {
+    const DiodeParams& dp = params_.diode;
+    for (std::size_t k = 0; k < diodes_.size(); ++k) {
+        const DiodeBranch& d = diodes_[k];
+        const bool on = (seg >> k) & 1u;
+        // Branch current i = gd*(va - vc) + i0 flowing anode -> cathode.
+        const double gd = on ? 1.0 / dp.r_on : dp.g_off;
+        const double i0 = on ? (dp.g_off * dp.v_on - dp.v_on / dp.r_on) : 0.0;
+
+        const int p = d.anode, q = d.cathode;
+        if (p >= 0) {
+            const auto pi = static_cast<std::size_t>(p);
+            g(pi, pi) -= gd;
+            if (q >= 0) g(pi, static_cast<std::size_t>(q)) += gd;
+            s[pi] -= i0;
+        }
+        if (q >= 0) {
+            const auto qi = static_cast<std::size_t>(q);
+            g(qi, qi) -= gd;
+            if (p >= 0) g(qi, static_cast<std::size_t>(p)) += gd;
+            s[qi] += i0;
+        }
+    }
+}
+
+}  // namespace ehdoe::harvester

@@ -1,0 +1,211 @@
+#include "harvester/vibration.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace ehdoe::harvester {
+
+namespace {
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+}
+
+double VibrationSource::rms_amplitude() const {
+    // Numeric fallback: sample 4 s at 2 kHz.
+    double acc = 0.0;
+    const int n = 8000;
+    for (int i = 0; i < n; ++i) {
+        const double a = acceleration(i * (4.0 / n));
+        acc += a * a;
+    }
+    return std::sqrt(acc / n);
+}
+
+// ------------------------------------------------------------------- sine
+
+SineVibration::SineVibration(double amplitude, double frequency_hz, double phase)
+    : amp_(amplitude), freq_(frequency_hz), phase_(phase) {
+    if (!(amplitude >= 0.0)) throw std::invalid_argument("SineVibration: amplitude >= 0");
+    if (!(frequency_hz > 0.0)) throw std::invalid_argument("SineVibration: frequency > 0");
+}
+
+double SineVibration::acceleration(double t) const {
+    return amp_ * std::sin(kTwoPi * freq_ * t + phase_);
+}
+
+double SineVibration::rms_amplitude() const { return amp_ / std::numbers::sqrt2; }
+
+// -------------------------------------------------------------- multitone
+
+MultiToneVibration::MultiToneVibration(std::vector<Tone> tones) : tones_(std::move(tones)) {
+    if (tones_.empty()) throw std::invalid_argument("MultiToneVibration: needs >= 1 tone");
+    dominant_index_ = 0;
+    for (std::size_t i = 0; i < tones_.size(); ++i) {
+        if (!(tones_[i].frequency_hz > 0.0))
+            throw std::invalid_argument("MultiToneVibration: frequency > 0");
+        if (std::fabs(tones_[i].amplitude) > std::fabs(tones_[dominant_index_].amplitude))
+            dominant_index_ = i;
+    }
+}
+
+double MultiToneVibration::acceleration(double t) const {
+    double a = 0.0;
+    for (const Tone& tone : tones_) {
+        a += tone.amplitude * std::sin(kTwoPi * tone.frequency_hz * t + tone.phase);
+    }
+    return a;
+}
+
+double MultiToneVibration::dominant_frequency(double /*t*/) const {
+    return tones_[dominant_index_].frequency_hz;
+}
+
+double MultiToneVibration::rms_amplitude() const {
+    double acc = 0.0;
+    for (const Tone& tone : tones_) acc += 0.5 * tone.amplitude * tone.amplitude;
+    return std::sqrt(acc);
+}
+
+// ------------------------------------------------------------------ chirp
+
+ChirpVibration::ChirpVibration(double amplitude, double f0_hz, double f1_hz, double duration_s)
+    : amp_(amplitude), f0_(f0_hz), f1_(f1_hz), dur_(duration_s) {
+    if (!(f0_hz > 0.0) || !(f1_hz > 0.0)) throw std::invalid_argument("ChirpVibration: freq > 0");
+    if (!(duration_s > 0.0)) throw std::invalid_argument("ChirpVibration: duration > 0");
+}
+
+double ChirpVibration::acceleration(double t) const {
+    if (t <= 0.0) return amp_ * std::sin(0.0);
+    if (t >= dur_) {
+        // Phase accumulated over the sweep, then steady f1.
+        const double phase_sweep = kTwoPi * (f0_ * dur_ + 0.5 * (f1_ - f0_) * dur_);
+        return amp_ * std::sin(phase_sweep + kTwoPi * f1_ * (t - dur_));
+    }
+    const double k = (f1_ - f0_) / dur_;
+    return amp_ * std::sin(kTwoPi * (f0_ * t + 0.5 * k * t * t));
+}
+
+double ChirpVibration::dominant_frequency(double t) const {
+    if (t <= 0.0) return f0_;
+    if (t >= dur_) return f1_;
+    return f0_ + (f1_ - f0_) * (t / dur_);
+}
+
+double ChirpVibration::rms_amplitude() const { return amp_ / std::numbers::sqrt2; }
+
+// ------------------------------------------------------------------ drift
+
+DriftVibration::DriftVibration(double amplitude, std::vector<double> times,
+                               std::vector<double> freqs_hz)
+    : amp_(amplitude), freq_(times, freqs_hz) {
+    for (double f : freqs_hz) {
+        if (!(f > 0.0)) throw std::invalid_argument("DriftVibration: frequencies > 0");
+    }
+    // Phase at each knot: integral of f over the profile, trapezoid exact
+    // because f is piecewise linear.
+    knot_t_ = times;
+    knot_phase_.resize(times.size());
+    knot_phase_[0] = 0.0;
+    for (std::size_t i = 1; i < times.size(); ++i) {
+        const double dt = times[i] - times[i - 1];
+        knot_phase_[i] =
+            knot_phase_[i - 1] + kTwoPi * 0.5 * (freqs_hz[i] + freqs_hz[i - 1]) * dt;
+    }
+}
+
+double DriftVibration::phase_at(double t) const {
+    if (t <= knot_t_.front()) {
+        return knot_phase_.front() + kTwoPi * freq_(knot_t_.front()) * (t - knot_t_.front());
+    }
+    if (t >= knot_t_.back()) {
+        return knot_phase_.back() + kTwoPi * freq_(knot_t_.back()) * (t - knot_t_.back());
+    }
+    const auto it = std::upper_bound(knot_t_.begin(), knot_t_.end(), t);
+    const std::size_t i = static_cast<std::size_t>(it - knot_t_.begin()) - 1;
+    const double dt = t - knot_t_[i];
+    const double f0 = freq_(knot_t_[i]);
+    const double ft = freq_(t);
+    return knot_phase_[i] + kTwoPi * 0.5 * (f0 + ft) * dt;
+}
+
+double DriftVibration::acceleration(double t) const { return amp_ * std::sin(phase_at(t)); }
+
+double DriftVibration::dominant_frequency(double t) const { return freq_(t); }
+
+double DriftVibration::rms_amplitude() const { return amp_ / std::numbers::sqrt2; }
+
+// ------------------------------------------------------------------ noisy
+
+NoisyVibration::NoisyVibration(std::shared_ptr<const VibrationSource> base, double noise_rms,
+                               double bandwidth_hz, std::uint64_t seed, double duration_s,
+                               double sample_rate_hz)
+    : base_(std::move(base)), noise_rms_(noise_rms), rate_(sample_rate_hz) {
+    if (!base_) throw std::invalid_argument("NoisyVibration: null base source");
+    if (!(noise_rms >= 0.0)) throw std::invalid_argument("NoisyVibration: noise_rms >= 0");
+    if (!(bandwidth_hz > 0.0) || !(sample_rate_hz > 2.0 * bandwidth_hz)) {
+        throw std::invalid_argument("NoisyVibration: need sample_rate > 2*bandwidth > 0");
+    }
+    const auto n = static_cast<std::size_t>(duration_s * sample_rate_hz) + 2;
+    samples_.resize(n);
+    num::Rng rng = num::make_rng(seed);
+    // One-pole low-pass on white Gaussian noise, then re-normalize to the
+    // requested RMS.
+    const double alpha = std::exp(-kTwoPi * bandwidth_hz / sample_rate_hz);
+    double y = 0.0;
+    for (auto& s : samples_) {
+        y = alpha * y + (1.0 - alpha) * num::normal(rng);
+        s = y;
+    }
+    const double current_rms = num::rms(samples_);
+    if (current_rms > 0.0) {
+        const double g = noise_rms / current_rms;
+        for (auto& s : samples_) s *= g;
+    }
+}
+
+double NoisyVibration::acceleration(double t) const {
+    double noise = 0.0;
+    if (!samples_.empty() && t >= 0.0) {
+        const double pos = t * rate_;
+        const auto i = static_cast<std::size_t>(pos);
+        if (i + 1 < samples_.size()) {
+            const double w = pos - static_cast<double>(i);
+            noise = samples_[i] * (1.0 - w) + samples_[i + 1] * w;
+        } else {
+            noise = samples_.back();
+        }
+    }
+    return base_->acceleration(t) + noise;
+}
+
+double NoisyVibration::dominant_frequency(double t) const { return base_->dominant_frequency(t); }
+
+double NoisyVibration::rms_amplitude() const {
+    const double b = base_->rms_amplitude();
+    return std::sqrt(b * b + noise_rms_ * noise_rms_);
+}
+
+// ------------------------------------------------------------------ trace
+
+TraceVibration::TraceVibration(std::vector<double> samples, double sample_rate_hz,
+                               double dominant_frequency_hz)
+    : samples_(std::move(samples)), rate_(sample_rate_hz), f_dom_(dominant_frequency_hz) {
+    if (samples_.size() < 2) throw std::invalid_argument("TraceVibration: needs >= 2 samples");
+    if (!(sample_rate_hz > 0.0)) throw std::invalid_argument("TraceVibration: rate > 0");
+}
+
+double TraceVibration::acceleration(double t) const {
+    const double span = static_cast<double>(samples_.size()) / rate_;
+    double tau = std::fmod(t, span);
+    if (tau < 0.0) tau += span;
+    const double pos = tau * rate_;
+    const auto i = static_cast<std::size_t>(pos) % samples_.size();
+    const std::size_t j = (i + 1) % samples_.size();
+    const double w = pos - std::floor(pos);
+    return samples_[i] * (1.0 - w) + samples_[j] * w;
+}
+
+double TraceVibration::rms_amplitude() const { return num::rms(samples_); }
+
+}  // namespace ehdoe::harvester

@@ -1,0 +1,154 @@
+// ehdoe/harvester/vibration.hpp
+//
+// Excitation sources for the kinetic harvester: the base acceleration a(t)
+// (m/s^2) that drives the cantilever. The paper's measured machinery traces
+// are not available, so the toolkit provides parametric sources with
+// matching spectral character (see DESIGN.md §3 Substitutions):
+//
+//  * SineVibration        — stationary single tone (office HVAC, fans)
+//  * MultiToneVibration   — dominant tone + harmonics/spurs
+//  * ChirpVibration       — linear frequency sweep (characterisation runs)
+//  * DriftVibration       — piecewise-linear drifting dominant frequency
+//                           (industrial machinery under varying load; the
+//                           scenario that motivates *tunable* harvesters)
+//  * NoisyVibration       — decorates any source with band-limited noise
+//  * TraceVibration       — plays back a sampled trace (for user data)
+//
+// All sources also report their *instantaneous dominant frequency*, which
+// the test suite uses as ground truth for the tuning controller's estimator.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "numerics/interp.hpp"
+#include "numerics/stats.hpp"
+
+namespace ehdoe::harvester {
+
+/// Interface: base acceleration as a function of time.
+class VibrationSource {
+public:
+    virtual ~VibrationSource() = default;
+
+    /// Base acceleration a(t) in m/s^2.
+    virtual double acceleration(double t) const = 0;
+
+    /// Instantaneous dominant frequency (Hz) — ground truth for controllers.
+    virtual double dominant_frequency(double t) const = 0;
+
+    /// RMS amplitude estimate over the source's natural period (used for
+    /// power-flow models). Default samples numerically.
+    virtual double rms_amplitude() const;
+};
+
+/// a(t) = A sin(2 pi f t + phase).
+class SineVibration final : public VibrationSource {
+public:
+    SineVibration(double amplitude, double frequency_hz, double phase = 0.0);
+
+    double acceleration(double t) const override;
+    double dominant_frequency(double /*t*/) const override { return freq_; }
+    double rms_amplitude() const override;
+
+    double amplitude() const { return amp_; }
+
+private:
+    double amp_;
+    double freq_;
+    double phase_;
+};
+
+/// Sum of tones; the dominant frequency is that of the largest amplitude.
+class MultiToneVibration final : public VibrationSource {
+public:
+    struct Tone {
+        double amplitude;
+        double frequency_hz;
+        double phase = 0.0;
+    };
+    explicit MultiToneVibration(std::vector<Tone> tones);
+
+    double acceleration(double t) const override;
+    double dominant_frequency(double t) const override;
+    double rms_amplitude() const override;
+
+    const std::vector<Tone>& tones() const { return tones_; }
+
+private:
+    std::vector<Tone> tones_;
+    std::size_t dominant_index_;
+};
+
+/// Linear chirp from f0 at t=0 to f1 at t=duration (then holds f1).
+class ChirpVibration final : public VibrationSource {
+public:
+    ChirpVibration(double amplitude, double f0_hz, double f1_hz, double duration_s);
+
+    double acceleration(double t) const override;
+    double dominant_frequency(double t) const override;
+    double rms_amplitude() const override;
+
+private:
+    double amp_, f0_, f1_, dur_;
+};
+
+/// Dominant frequency follows a piecewise-linear profile f(t) given as
+/// (time, frequency) breakpoints; amplitude constant. Phase is integrated
+/// so the waveform is continuous through breakpoints.
+class DriftVibration final : public VibrationSource {
+public:
+    DriftVibration(double amplitude, std::vector<double> times, std::vector<double> freqs_hz);
+
+    double acceleration(double t) const override;
+    double dominant_frequency(double t) const override;
+    double rms_amplitude() const override;
+
+private:
+    double phase_at(double t) const;
+
+    double amp_;
+    num::LinearTable freq_;
+    // Precomputed phase at each breakpoint for O(1) continuous phase.
+    std::vector<double> knot_t_;
+    std::vector<double> knot_phase_;
+};
+
+/// Wraps a base source and adds band-limited (first-order filtered) Gaussian
+/// noise, reproducibly seeded. Noise is generated on a fixed sample grid so
+/// acceleration(t) is a pure function of t.
+class NoisyVibration final : public VibrationSource {
+public:
+    NoisyVibration(std::shared_ptr<const VibrationSource> base, double noise_rms,
+                   double bandwidth_hz, std::uint64_t seed, double duration_s,
+                   double sample_rate_hz = 2000.0);
+
+    double acceleration(double t) const override;
+    double dominant_frequency(double t) const override;
+    double rms_amplitude() const override;
+
+private:
+    std::shared_ptr<const VibrationSource> base_;
+    double noise_rms_;
+    std::vector<double> samples_;  // filtered noise at fixed rate
+    double rate_;
+};
+
+/// Plays back a sampled acceleration trace (uniform sampling), linearly
+/// interpolated, looping beyond the end.
+class TraceVibration final : public VibrationSource {
+public:
+    TraceVibration(std::vector<double> samples, double sample_rate_hz,
+                   double dominant_frequency_hz);
+
+    double acceleration(double t) const override;
+    double dominant_frequency(double /*t*/) const override { return f_dom_; }
+    double rms_amplitude() const override;
+
+private:
+    std::vector<double> samples_;
+    double rate_;
+    double f_dom_;
+};
+
+}  // namespace ehdoe::harvester

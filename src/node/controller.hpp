@@ -1,0 +1,74 @@
+// ehdoe/node/controller.hpp
+//
+// The tuning controller of [2]: periodically wake, capture a short
+// accelerometer burst, estimate the dominant vibration frequency (the
+// prototype used a zero-crossing counter), and—if the mismatch between the
+// estimate and the current resonant frequency exceeds a dead-band—command
+// the actuator to retune.
+//
+// Both knobs are first-class DoE factors:
+//   * check_period: how often energy is spent *looking* for drift;
+//   * deadband:     how much mismatch is tolerated before energy is spent
+//                   *acting* on it.
+// Their interaction with harvested power is the core trade-off the paper's
+// response surfaces expose.
+#pragma once
+
+#include <cstdint>
+
+#include "harvester/tuning.hpp"
+#include "harvester/vibration.hpp"
+#include "numerics/stats.hpp"
+
+namespace ehdoe::node {
+
+struct TuningControllerParams {
+    double check_period = 20.0;    ///< seconds between frequency checks
+    double deadband_hz = 1.0;      ///< retune only if |f_est - f_res| exceeds this
+    /// 1-sigma error of the zero-crossing frequency estimator (Hz). A 0.25 s
+    /// capture of a ~70 Hz noisy signal resolves a couple tenths of a Hz.
+    double estimator_sigma_hz = 0.2;
+    /// Do not retune when the storage voltage is below this (the actuator
+    /// burst would brown the node out).
+    double min_voltage = 2.1;
+    /// Clamp: never command more than this many retunes per check (1).
+    std::uint64_t rng_seed = 0x9E3779B97F4A7C15ull;
+
+    void validate() const;
+};
+
+/// Outcome of one frequency check.
+struct CheckOutcome {
+    double estimated_hz = 0.0;
+    bool retuned = false;
+    double target_hz = 0.0;      ///< commanded resonant frequency if retuned
+    double move_time = 0.0;      ///< actuator travel time (s) if retuned
+};
+
+/// Frequency estimator + dead-band retune policy. Owns no hardware: the
+/// caller passes the true dominant frequency (from the vibration source) and
+/// the actuator/map to act on.
+class TuningController {
+public:
+    TuningController(TuningControllerParams params, const harvester::TuningMap* map);
+
+    const TuningControllerParams& params() const { return params_; }
+
+    /// Perform one check at time `now`. `true_freq_hz` is the instantaneous
+    /// dominant excitation frequency; `v_store` gates the actuator; the
+    /// actuator is commanded directly on a retune decision.
+    CheckOutcome check(double now, double true_freq_hz, double v_store,
+                       harvester::TuningActuator& actuator);
+
+    std::size_t checks() const { return checks_; }
+    std::size_t retunes() const { return retunes_; }
+
+private:
+    TuningControllerParams params_;
+    const harvester::TuningMap* map_;
+    num::Rng rng_;
+    std::size_t checks_ = 0;
+    std::size_t retunes_ = 0;
+};
+
+}  // namespace ehdoe::node

@@ -1,0 +1,20 @@
+#include "node/metrics.hpp"
+
+#include <ostream>
+
+namespace ehdoe::node {
+
+std::ostream& operator<<(std::ostream& os, const NodeMetrics& m) {
+    os << "NodeMetrics{t=" << m.duration << "s"
+       << ", E_harv=" << m.energy_harvested << "J"
+       << ", E_cons=" << m.energy_consumed << "J"
+       << ", E_tune=" << m.energy_tuning << "J"
+       << ", packets=" << m.packets_delivered << "/" << (m.packets_delivered + m.packets_missed)
+       << ", retunes=" << m.retunes
+       << ", Vmin=" << m.v_min << "V"
+       << ", Vend=" << m.v_end << "V"
+       << ", downtime=" << m.downtime << "s}";
+    return os;
+}
+
+}  // namespace ehdoe::node

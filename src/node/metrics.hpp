@@ -1,0 +1,58 @@
+// ehdoe/node/metrics.hpp
+//
+// The performance indicators the DATE'13 abstract's design flow fits RSMs
+// for — the responses of every experiment in the repo.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+
+namespace ehdoe::node {
+
+struct NodeMetrics {
+    double duration = 0.0;          ///< simulated horizon (s)
+
+    // Energy flows (J).
+    double energy_harvested = 0.0;  ///< delivered into storage
+    double energy_consumed = 0.0;   ///< drawn by the node electronics
+    double energy_tuning = 0.0;     ///< actuator motion + frequency checks
+    double energy_leaked = 0.0;     ///< storage self-discharge
+
+    // Application-level outcomes.
+    std::size_t packets_delivered = 0;
+    std::size_t packets_missed = 0; ///< task fired while browned out / low
+    std::size_t retunes = 0;        ///< actuator move commands
+    std::size_t freq_checks = 0;
+
+    // Storage trajectory.
+    double v_min = 0.0;             ///< minimum storage voltage seen (V)
+    double v_end = 0.0;             ///< storage voltage at the end (V)
+    double downtime = 0.0;          ///< time browned out (s)
+
+    /// Mean harvested power over the run (W).
+    double mean_harvest_power() const {
+        return duration > 0.0 ? energy_harvested / duration : 0.0;
+    }
+    /// Mean consumed power over the run (W).
+    double mean_consumed_power() const {
+        return duration > 0.0 ? energy_consumed / duration : 0.0;
+    }
+    /// Packets per hour.
+    double packet_rate() const {
+        return duration > 0.0 ? 3600.0 * static_cast<double>(packets_delivered) / duration : 0.0;
+    }
+    /// Fraction of attempted tasks that produced a packet.
+    double delivery_ratio() const {
+        const std::size_t total = packets_delivered + packets_missed;
+        return total > 0 ? static_cast<double>(packets_delivered) / static_cast<double>(total)
+                         : 1.0;
+    }
+    /// True when the node ends with at least as much stored energy as it can
+    /// keep losing, i.e. operation is sustainable (no net drain and no
+    /// downtime) — the "energy-neutral" criterion.
+    bool energy_neutral(double v_start) const { return downtime == 0.0 && v_end >= v_start * 0.98; }
+};
+
+std::ostream& operator<<(std::ostream& os, const NodeMetrics& m);
+
+}  // namespace ehdoe::node

@@ -1,0 +1,172 @@
+#include "node/node_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace ehdoe::node {
+
+void NodeSimConfig::validate() const {
+    if (!vibration) throw std::invalid_argument("NodeSimConfig: vibration source required");
+    if (!(duration > 0.0)) throw std::invalid_argument("NodeSimConfig: duration > 0");
+    if (!(max_substep > 0.0)) throw std::invalid_argument("NodeSimConfig: max_substep > 0");
+    storage.validate();
+    power.validate();
+    firmware.validate();
+    controller.validate();
+    manager.validate();
+}
+
+NodeSimulation::NodeSimulation(NodeSimConfig config) : cfg_(std::move(config)) {
+    cfg_.validate();
+}
+
+NodeMetrics NodeSimulation::run() { return execute(0.0, nullptr); }
+
+NodeMetrics NodeSimulation::run_traced(double trace_dt, std::vector<TracePoint>& trace) {
+    if (!(trace_dt > 0.0)) throw std::invalid_argument("run_traced: trace_dt > 0");
+    trace.clear();
+    return execute(trace_dt, &trace);
+}
+
+NodeMetrics NodeSimulation::execute(double trace_dt, std::vector<TracePoint>* trace) {
+    const harvester::VibrationSource& vib = *cfg_.vibration;
+    harvester::PowerFlowModel pf(cfg_.harvester);
+    harvester::Storage storage(cfg_.storage);
+    harvester::TuningActuator actuator(
+        cfg_.actuator,
+        cfg_.tuning_map.separation_for(cfg_.initial_resonance_hz > 0.0
+                                           ? cfg_.initial_resonance_hz
+                                           : cfg_.harvester.generator.natural_freq_hz));
+    Firmware firmware(cfg_.firmware, cfg_.power);
+    TuningController controller(cfg_.controller, &cfg_.tuning_map);
+    EnergyManager manager(cfg_.manager, storage.voltage() >= cfg_.manager.v_on);
+
+    NodeMetrics m;
+    m.duration = cfg_.duration;
+    m.v_min = storage.voltage();
+
+    // Excitation amplitude for the power-flow model: treat the source as a
+    // tone of equivalent RMS at its instantaneous dominant frequency.
+    const double accel_amp = vib.rms_amplitude() * std::numbers::sqrt2;
+
+    // Resonant frequency follows the (possibly moving) magnet position; when
+    // tuning is disabled the device stays at its configured resonance.
+    const double fixed_res = cfg_.initial_resonance_hz > 0.0
+                                 ? cfg_.initial_resonance_hz
+                                 : cfg_.harvester.generator.natural_freq_hz;
+    auto f_res_now = [&](double t) {
+        if (!cfg_.tuning_enabled) return fixed_res;
+        actuator.update(t);
+        return cfg_.tuning_map.frequency(actuator.position());
+    };
+
+    sim::EventQueue queue;
+
+    // --- firmware task -----------------------------------------------------
+    // Self-rescheduling with the firmware's adaptive period.
+    std::function<void(double)> task_fn = [&](double t) {
+        const TaskDecision d = firmware.decide(storage.voltage(), manager.alive());
+        switch (d) {
+            case TaskDecision::Run: {
+                const double e = firmware.task_energy();
+                storage.advance(firmware.task_duration(), 0.0,
+                                e / firmware.task_duration());
+                m.energy_consumed += e;
+                ++m.packets_delivered;
+                break;
+            }
+            case TaskDecision::SkipLow:
+            case TaskDecision::SkipOff:
+                ++m.packets_missed;
+                break;
+        }
+        if (t + firmware.current_period() < cfg_.duration) {
+            queue.schedule(t + firmware.current_period(), task_fn);
+        }
+    };
+    queue.schedule(firmware.current_period(), task_fn);
+
+    // --- tuning controller check -------------------------------------------
+    std::function<void(double)> check_fn = [&](double t) {
+        if (cfg_.tuning_enabled && manager.alive()) {
+            const double e_check = cfg_.power.freq_check_energy();
+            storage.advance(cfg_.power.t_freq_check, 0.0,
+                            e_check / std::max(cfg_.power.t_freq_check, 1e-9));
+            m.energy_consumed += e_check;
+            m.energy_tuning += e_check;
+            ++m.freq_checks;
+            controller.check(t, vib.dominant_frequency(t), storage.voltage(), actuator);
+        }
+        if (t + cfg_.controller.check_period < cfg_.duration) {
+            queue.schedule(t + cfg_.controller.check_period, check_fn);
+        }
+    };
+    if (cfg_.tuning_enabled) queue.schedule(cfg_.controller.check_period, check_fn);
+
+    // --- main loop: continuous advance between events -----------------------
+    double t = 0.0;
+    double next_trace = 0.0;
+    double actuator_energy_prev = 0.0;
+
+    auto record = [&](double now, double p_h) {
+        if (trace && now >= next_trace) {
+            trace->push_back(TracePoint{now, storage.voltage(), vib.dominant_frequency(now),
+                                        f_res_now(now), p_h});
+            next_trace += trace_dt;
+        }
+    };
+
+    while (t < cfg_.duration - 1e-12) {
+        const double t_event = std::min(queue.empty() ? cfg_.duration : queue.next_time(),
+                                        cfg_.duration);
+        // Continuous segment [t, t_event] in bounded sub-steps.
+        while (t < t_event - 1e-12) {
+            const double h = std::min(cfg_.max_substep, t_event - t);
+            const double f_exc = vib.dominant_frequency(t);
+            const double f_res = f_res_now(t);
+            const double v = storage.voltage();
+            const double p_h = pf.power(f_exc, f_res, accel_amp, v);
+
+            // Baseline electronics draw: sleep (alive) or nothing (off).
+            const double p_base =
+                manager.alive() ? cfg_.power.storage_power(NodeState::Sleep) : 0.0;
+            // Actuator draw while a move is in flight.
+            actuator.update(t + h);
+            const double e_act = actuator.energy_consumed(t + h) - actuator_energy_prev;
+            actuator_energy_prev += e_act;
+
+            storage.advance(h, p_h, p_base + e_act / h);
+            m.energy_harvested += p_h * h;
+            m.energy_consumed += p_base * h + e_act;
+            m.energy_tuning += e_act;
+
+            const double v_new = storage.voltage();
+            m.v_min = std::min(m.v_min, v_new);
+            if (!manager.alive()) m.downtime += h;
+            manager.observe(v_new);
+
+            record(t + h, p_h);
+            t += h;
+        }
+        // Fire every event scheduled at (or before) this instant.
+        while (!queue.empty() && queue.next_time() <= t + 1e-12) {
+            queue.run_next();
+            m.v_min = std::min(m.v_min, storage.voltage());
+            manager.observe(storage.voltage());
+        }
+    }
+
+    m.retunes = controller.retunes();
+    m.energy_leaked = storage.energy_leaked();
+    m.v_end = storage.voltage();
+    return m;
+}
+
+NodeMetrics simulate_node(const NodeSimConfig& config) {
+    NodeSimulation sim(config);
+    return sim.run();
+}
+
+}  // namespace ehdoe::node

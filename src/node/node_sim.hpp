@@ -1,0 +1,87 @@
+// ehdoe/node/node_sim.hpp
+//
+// Long-horizon co-simulation of the complete harvester-powered sensor node:
+// vibration source -> tunable harvester (power-flow model) -> storage ->
+// {firmware tasks, tuning controller, energy manager}. This is the
+// "complete wireless sensor node" simulation the DATE'13 toolkit wraps in
+// its DoE flow: one run of NodeSimulation = one experiment = one row of a
+// DoE design.
+//
+// The analogue side advances in bounded continuous sub-steps; the digital
+// side (tasks, controller checks) runs on the discrete-event queue. Task
+// bursts are orders of magnitude shorter than the gaps between them, so
+// their energy is drawn atomically at the firing instant — the standard
+// energy-flow abstraction for duty-cycled nodes ([2]'s firmware-level
+// model).
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "harvester/harvester_system.hpp"
+#include "harvester/storage.hpp"
+#include "harvester/tuning.hpp"
+#include "harvester/vibration.hpp"
+#include "node/controller.hpp"
+#include "node/energy_manager.hpp"
+#include "node/firmware.hpp"
+#include "node/metrics.hpp"
+#include "node/power_model.hpp"
+#include "sim/events.hpp"
+
+namespace ehdoe::node {
+
+/// Everything one experiment needs. The vibration source is shared because
+/// scenarios reuse one source across many runs.
+struct NodeSimConfig {
+    std::shared_ptr<const harvester::VibrationSource> vibration;
+    harvester::PowerFlowModel::Params harvester;
+    harvester::TuningMap tuning_map = harvester::TuningMap::synthetic();
+    harvester::ActuatorParams actuator;
+    harvester::StorageParams storage;
+    NodePowerParams power;
+    FirmwareParams firmware;
+    TuningControllerParams controller;
+    EnergyManagerParams manager;
+
+    double duration = 300.0;        ///< simulated horizon (s)
+    double initial_resonance_hz = 0.0;  ///< 0 => untuned natural frequency
+    /// Disable the tuning subsystem entirely (the "fixed harvester"
+    /// baseline of the F1 bench).
+    bool tuning_enabled = true;
+    /// Continuous sub-step bound for the storage integration (s).
+    double max_substep = 0.1;
+
+    void validate() const;
+};
+
+/// Sampled trajectory point for plotting benches (F2/F3).
+struct TracePoint {
+    double t;
+    double v_store;
+    double f_exc;
+    double f_res;
+    double p_harvest;
+};
+
+/// Runs one experiment; optionally records a trajectory.
+class NodeSimulation {
+public:
+    explicit NodeSimulation(NodeSimConfig config);
+
+    /// Execute the full horizon and return the performance indicators.
+    NodeMetrics run();
+
+    /// As run(), but also samples the trajectory every `trace_dt` seconds.
+    NodeMetrics run_traced(double trace_dt, std::vector<TracePoint>& trace);
+
+private:
+    NodeMetrics execute(double trace_dt, std::vector<TracePoint>* trace);
+
+    NodeSimConfig cfg_;
+};
+
+/// Convenience: run a config directly.
+NodeMetrics simulate_node(const NodeSimConfig& config);
+
+}  // namespace ehdoe::node

@@ -1,0 +1,66 @@
+#include "node/power_model.hpp"
+
+#include <stdexcept>
+
+namespace ehdoe::node {
+
+void NodePowerParams::validate() const {
+    if (!(supply_voltage > 0.0)) throw std::invalid_argument("NodePowerParams: supply > 0");
+    if (!(regulator_efficiency > 0.0 && regulator_efficiency <= 1.0))
+        throw std::invalid_argument("NodePowerParams: regulator_efficiency in (0,1]");
+    if (!(radio_bitrate > 0.0)) throw std::invalid_argument("NodePowerParams: bitrate > 0");
+    for (double i : {i_sleep, i_idle, i_sense, i_process, i_tx, i_rx, i_freq_check}) {
+        if (!(i >= 0.0)) throw std::invalid_argument("NodePowerParams: currents >= 0");
+    }
+    for (double t : {t_sense, t_process, t_rx, t_freq_check, t_wakeup}) {
+        if (!(t >= 0.0)) throw std::invalid_argument("NodePowerParams: durations >= 0");
+    }
+}
+
+double NodePowerParams::current(NodeState state) const {
+    switch (state) {
+        case NodeState::Off: return 0.0;
+        case NodeState::Sleep: return i_sleep;
+        case NodeState::Idle: return i_idle;
+        case NodeState::Sense: return i_sense;
+        case NodeState::Process: return i_process;
+        case NodeState::Transmit: return i_tx;
+        case NodeState::Receive: return i_rx;
+        case NodeState::FreqCheck: return i_freq_check;
+    }
+    return 0.0;
+}
+
+double NodePowerParams::rail_power(NodeState state) const {
+    return supply_voltage * current(state);
+}
+
+double NodePowerParams::storage_power(NodeState state) const {
+    if (state == NodeState::Off) return 0.0;
+    return rail_power(state) / regulator_efficiency;
+}
+
+double NodePowerParams::tx_time(std::size_t payload_bytes) const {
+    const double bits =
+        8.0 * static_cast<double>(preamble_bytes + header_bytes + payload_bytes);
+    return bits / radio_bitrate;
+}
+
+double NodePowerParams::task_energy(std::size_t payload_bytes) const {
+    const double e_wake = storage_power(NodeState::Idle) * t_wakeup;
+    const double e_sense = storage_power(NodeState::Sense) * t_sense;
+    const double e_proc = storage_power(NodeState::Process) * t_process;
+    const double e_tx = storage_power(NodeState::Transmit) * tx_time(payload_bytes);
+    const double e_rx = storage_power(NodeState::Receive) * t_rx;
+    return e_wake + e_sense + e_proc + e_tx + e_rx;
+}
+
+double NodePowerParams::task_duration(std::size_t payload_bytes) const {
+    return t_wakeup + t_sense + t_process + tx_time(payload_bytes) + t_rx;
+}
+
+double NodePowerParams::freq_check_energy() const {
+    return storage_power(NodeState::FreqCheck) * t_freq_check;
+}
+
+}  // namespace ehdoe::node

@@ -1,0 +1,71 @@
+// ehdoe/node/power_model.hpp
+//
+// State-machine power model of the sensor node electronics (MCU + radio +
+// sensor front-end), with datasheet-class currents for an MSP430-class MCU
+// and an IEEE 802.15.4 radio at 3 V — the platform class of [2]. The paper's
+// measured current profiles are replaced by this parametric model (see
+// DESIGN.md §3); energy bookkeeping is identical.
+#pragma once
+
+#include <cstddef>
+
+namespace ehdoe::node {
+
+/// Operating states of the node electronics.
+enum class NodeState {
+    Off,       ///< browned out (storage below V_off)
+    Sleep,     ///< deep sleep, RTC running
+    Idle,      ///< MCU awake, radio off
+    Sense,     ///< sampling the sensor front-end
+    Process,   ///< crunching the sample
+    Transmit,  ///< radio TX burst
+    Receive,   ///< radio RX (ack window)
+    FreqCheck, ///< accelerometer capture for the tuning controller
+};
+
+/// Currents (A) and fixed durations (s) per state, at the regulated rail.
+struct NodePowerParams {
+    double supply_voltage = 3.0;       ///< regulated rail (V)
+    double regulator_efficiency = 0.85;///< storage -> rail conversion
+
+    double i_sleep = 2.0e-6;
+    double i_idle = 0.5e-3;
+    double i_sense = 1.5e-3;
+    double i_process = 3.0e-3;
+    double i_tx = 21.0e-3;
+    double i_rx = 19.0e-3;
+    double i_freq_check = 0.8e-3;
+
+    double t_sense = 5.0e-3;           ///< per sample
+    double t_process = 2.0e-3;
+    double t_rx = 2.0e-3;              ///< ack window
+    double t_freq_check = 0.1;         ///< accelerometer capture + estimate
+    double t_wakeup = 1.0e-3;          ///< sleep -> active transition
+
+    double radio_bitrate = 250e3;      ///< bits/s (802.15.4)
+    std::size_t preamble_bytes = 8;
+    std::size_t header_bytes = 12;
+
+    void validate() const;
+
+    /// Current drawn in `state` (A) at the regulated rail.
+    double current(NodeState state) const;
+    /// Power at the rail in `state` (W).
+    double rail_power(NodeState state) const;
+    /// Power drawn *from storage* in `state` (W) — includes regulator loss.
+    double storage_power(NodeState state) const;
+
+    /// On-air time for a packet with `payload_bytes` of payload (s).
+    double tx_time(std::size_t payload_bytes) const;
+
+    /// Energy (J, from storage) of one complete measure->process->transmit->
+    /// ack task with the given payload.
+    double task_energy(std::size_t payload_bytes) const;
+    /// Wall-clock duration of that task (s).
+    double task_duration(std::size_t payload_bytes) const;
+
+    /// Energy (J, from storage) of one tuning-controller frequency check.
+    double freq_check_energy() const;
+};
+
+}  // namespace ehdoe::node

@@ -1,0 +1,32 @@
+// ehdoe/numerics/expm.hpp
+//
+// Matrix exponential via scaling-and-squaring with a diagonal Padé(6,6)
+// approximant. The explicit linearized state-space engine ([4], TCAD 2012)
+// advances an LTI segment exactly with
+//
+//   x(t+h) = e^{Ah} x(t) + (integral term) B u
+//
+// so e^{Ah} (and the associated integral operator) are the workhorses of the
+// fast simulator. Matrices are small (order < ~30), so dense Padé is ideal.
+#pragma once
+
+#include "numerics/matrix.hpp"
+
+namespace ehdoe::num {
+
+/// e^A for a square matrix, scaling-and-squaring + Padé(6,6).
+Matrix expm(const Matrix& a);
+
+/// Discretization of a continuous LTI system (A, B) with step h under a
+/// zero-order hold:  x_{k+1} = Ad x_k + Bd u_k, with
+///   Ad = e^{Ah},  Bd = (\int_0^h e^{As} ds) B.
+/// Computed jointly via the block-matrix exponential
+///   exp([A B; 0 0] h) = [Ad Bd; 0 I],
+/// which is exact and handles singular A.
+struct Discretized {
+    Matrix ad;
+    Matrix bd;
+};
+Discretized discretize_zoh(const Matrix& a, const Matrix& b, double h);
+
+}  // namespace ehdoe::num

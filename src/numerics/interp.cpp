@@ -1,0 +1,132 @@
+#include "numerics/interp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ehdoe::num {
+
+namespace {
+void validate_knots(const std::vector<double>& xs, const std::vector<double>& ys) {
+    if (xs.size() != ys.size()) throw std::invalid_argument("interp: size mismatch");
+    if (xs.size() < 2) throw std::invalid_argument("interp: need at least two knots");
+    for (std::size_t i = 1; i < xs.size(); ++i) {
+        if (!(xs[i] > xs[i - 1]))
+            throw std::invalid_argument("interp: abscissae must be strictly increasing");
+    }
+}
+
+std::size_t find_segment(const std::vector<double>& xs, double x) {
+    // Index i such that xs[i] <= x < xs[i+1], clamped to valid segments.
+    if (x <= xs.front()) return 0;
+    if (x >= xs.back()) return xs.size() - 2;
+    const auto it = std::upper_bound(xs.begin(), xs.end(), x);
+    return static_cast<std::size_t>(it - xs.begin()) - 1;
+}
+}  // namespace
+
+LinearTable::LinearTable(std::vector<double> xs, std::vector<double> ys)
+    : xs_(std::move(xs)), ys_(std::move(ys)) {
+    validate_knots(xs_, ys_);
+}
+
+double LinearTable::operator()(double x) const {
+    if (x <= xs_.front()) return ys_.front();
+    if (x >= xs_.back()) return ys_.back();
+    const std::size_t i = find_segment(xs_, x);
+    const double w = (x - xs_[i]) / (xs_[i + 1] - xs_[i]);
+    return ys_[i] + w * (ys_[i + 1] - ys_[i]);
+}
+
+double LinearTable::derivative(double x) const {
+    const std::size_t i = find_segment(xs_, x);
+    return (ys_[i + 1] - ys_[i]) / (xs_[i + 1] - xs_[i]);
+}
+
+double LinearTable::inverse(double y) const {
+    const bool increasing = ys_.back() > ys_.front();
+    // Verify monotonicity.
+    for (std::size_t i = 1; i < ys_.size(); ++i) {
+        const double d = ys_[i] - ys_[i - 1];
+        if ((increasing && d < 0.0) || (!increasing && d > 0.0)) {
+            throw std::runtime_error("LinearTable::inverse: table is not monotone");
+        }
+    }
+    const double ylo = std::min(ys_.front(), ys_.back());
+    const double yhi = std::max(ys_.front(), ys_.back());
+    if (y < ylo - 1e-12 || y > yhi + 1e-12) {
+        throw std::runtime_error("LinearTable::inverse: value out of range");
+    }
+    y = std::clamp(y, ylo, yhi);
+    for (std::size_t i = 1; i < ys_.size(); ++i) {
+        const double y0 = ys_[i - 1], y1 = ys_[i];
+        const bool inside = increasing ? (y >= y0 && y <= y1) : (y <= y0 && y >= y1);
+        if (inside) {
+            if (y1 == y0) return xs_[i - 1];
+            const double w = (y - y0) / (y1 - y0);
+            return xs_[i - 1] + w * (xs_[i] - xs_[i - 1]);
+        }
+    }
+    return xs_.back();
+}
+
+CubicSpline::CubicSpline(std::vector<double> xs, std::vector<double> ys)
+    : xs_(std::move(xs)), ys_(std::move(ys)) {
+    validate_knots(xs_, ys_);
+    const std::size_t n = xs_.size();
+    m_.assign(n, 0.0);
+    if (n == 2) return;  // natural spline over one segment is the chord
+
+    // Thomas algorithm on the tridiagonal system for interior second
+    // derivatives; natural boundary: m_0 = m_{n-1} = 0.
+    std::vector<double> a(n, 0.0), b(n, 0.0), c(n, 0.0), d(n, 0.0);
+    for (std::size_t i = 1; i + 1 < n; ++i) {
+        const double h0 = xs_[i] - xs_[i - 1];
+        const double h1 = xs_[i + 1] - xs_[i];
+        a[i] = h0;
+        b[i] = 2.0 * (h0 + h1);
+        c[i] = h1;
+        d[i] = 6.0 * ((ys_[i + 1] - ys_[i]) / h1 - (ys_[i] - ys_[i - 1]) / h0);
+    }
+    for (std::size_t i = 2; i + 1 < n; ++i) {
+        const double w = a[i] / b[i - 1];
+        b[i] -= w * c[i - 1];
+        d[i] -= w * d[i - 1];
+    }
+    for (std::size_t i = n - 2; i >= 1; --i) {
+        m_[i] = (d[i] - c[i] * m_[i + 1]) / b[i];
+        if (i == 1) break;
+    }
+}
+
+std::size_t CubicSpline::segment(double x) const { return find_segment(xs_, x); }
+
+double CubicSpline::operator()(double x) const {
+    x = std::clamp(x, xs_.front(), xs_.back());
+    const std::size_t i = segment(x);
+    const double h = xs_[i + 1] - xs_[i];
+    const double t0 = xs_[i + 1] - x;
+    const double t1 = x - xs_[i];
+    return (m_[i] * t0 * t0 * t0 + m_[i + 1] * t1 * t1 * t1) / (6.0 * h) +
+           (ys_[i] / h - m_[i] * h / 6.0) * t0 + (ys_[i + 1] / h - m_[i + 1] * h / 6.0) * t1;
+}
+
+double CubicSpline::derivative(double x) const {
+    x = std::clamp(x, xs_.front(), xs_.back());
+    const std::size_t i = segment(x);
+    const double h = xs_[i + 1] - xs_[i];
+    const double t0 = xs_[i + 1] - x;
+    const double t1 = x - xs_[i];
+    return (-m_[i] * t0 * t0 + m_[i + 1] * t1 * t1) / (2.0 * h) -
+           (ys_[i] / h - m_[i] * h / 6.0) + (ys_[i + 1] / h - m_[i + 1] * h / 6.0);
+}
+
+double CubicSpline::second_derivative(double x) const {
+    x = std::clamp(x, xs_.front(), xs_.back());
+    const std::size_t i = segment(x);
+    const double h = xs_[i + 1] - xs_[i];
+    const double w = (x - xs_[i]) / h;
+    return m_[i] * (1.0 - w) + m_[i + 1] * w;
+}
+
+}  // namespace ehdoe::num

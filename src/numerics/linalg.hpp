@@ -1,0 +1,117 @@
+// ehdoe/numerics/linalg.hpp
+//
+// Dense factorizations and solvers: LU with partial pivoting, Cholesky,
+// Householder QR (used for least squares / RSM fitting), matrix inverse,
+// determinant, and a cyclic Jacobi eigen-solver for symmetric matrices
+// (used by the response-surface canonical analysis and by design
+// diagnostics).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "numerics/matrix.hpp"
+
+namespace ehdoe::num {
+
+/// LU factorization with partial pivoting: P*A = L*U.
+/// Factorization is stored packed (L below the diagonal with implicit unit
+/// diagonal, U on and above).
+class LuFactor {
+public:
+    /// Factor `a`; throws std::invalid_argument if `a` is not square and
+    /// std::runtime_error if it is numerically singular.
+    explicit LuFactor(Matrix a);
+
+    std::size_t dim() const { return lu_.rows(); }
+    /// Solve A x = b.
+    Vector solve(const Vector& b) const;
+    /// Solve A X = B column-wise.
+    Matrix solve(const Matrix& b) const;
+    /// det(A), including the permutation sign.
+    double determinant() const;
+    /// Explicit inverse (prefer solve()).
+    Matrix inverse() const;
+    /// Growth-based estimate of reciprocal conditioning: min|u_ii|/max|u_ii|.
+    double rcond_estimate() const;
+
+private:
+    Matrix lu_;
+    std::vector<std::size_t> perm_;
+    int sign_ = 1;
+};
+
+/// Cholesky factorization A = L L^T of a symmetric positive definite matrix.
+class CholeskyFactor {
+public:
+    /// Throws std::runtime_error if `a` is not (numerically) SPD.
+    explicit CholeskyFactor(const Matrix& a);
+
+    std::size_t dim() const { return l_.rows(); }
+    Vector solve(const Vector& b) const;
+    /// det(A) = prod(l_ii)^2.
+    double determinant() const;
+    double log_determinant() const;
+    const Matrix& l() const { return l_; }
+
+private:
+    Matrix l_;
+};
+
+/// Householder QR factorization A = Q R (A is m x n, m >= n).
+/// Primary consumer is ordinary least squares in the RSM fitter.
+class QrFactor {
+public:
+    explicit QrFactor(Matrix a);
+
+    std::size_t rows() const { return qr_.rows(); }
+    std::size_t cols() const { return qr_.cols(); }
+
+    /// Least-squares solution of min ||A x - b||_2. Throws if rank deficient
+    /// beyond `rank_tol` (relative to the largest |r_ii|).
+    Vector solve(const Vector& b, double rank_tol = 1e-12) const;
+
+    /// Apply Q^T to a vector (length m).
+    Vector qt_mul(const Vector& b) const;
+
+    /// Numerical rank with relative tolerance on |r_ii|.
+    std::size_t rank(double rel_tol = 1e-12) const;
+
+    /// The upper-triangular factor R (n x n leading block).
+    Matrix r() const;
+
+    /// Explicit thin Q (m x n).
+    Matrix thin_q() const;
+
+    /// |r_00 * r_11 * ...| — absolute determinant when A is square.
+    double abs_determinant() const;
+
+private:
+    Matrix qr_;           // Householder vectors below diagonal, R on/above.
+    std::vector<double> beta_;  // Householder scalars.
+};
+
+/// Result of the symmetric eigendecomposition A = V diag(w) V^T.
+struct SymmetricEigen {
+    Vector eigenvalues;   ///< ascending order
+    Matrix eigenvectors;  ///< columns correspond to eigenvalues
+};
+
+/// Cyclic Jacobi eigen-solver for a symmetric matrix. `a` is symmetrized
+/// internally; convergence to machine precision for the small matrices used
+/// here (k <= ~20 factors).
+SymmetricEigen eigen_symmetric(const Matrix& a, int max_sweeps = 64);
+
+/// Solve the linear system A x = b (convenience wrapper around LuFactor).
+Vector solve(const Matrix& a, const Vector& b);
+
+/// Least squares min ||A x - b|| via QR (convenience wrapper).
+Vector lstsq(const Matrix& a, const Vector& b);
+
+/// Explicit inverse via LU; throws on singular input.
+Matrix inverse(const Matrix& a);
+
+/// Determinant via LU; returns 0 for numerically singular input.
+double determinant(const Matrix& a);
+
+}  // namespace ehdoe::num

@@ -1,0 +1,116 @@
+#include "numerics/newton.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "numerics/linalg.hpp"
+
+namespace ehdoe::num {
+
+namespace {
+
+Matrix numerical_jacobian(const NonlinearSystem& f, const Vector& x, const Vector& fx,
+                          double eps, std::size_t& evals) {
+    const std::size_t n = x.size();
+    Matrix jac(n, n);
+    for (std::size_t j = 0; j < n; ++j) {
+        const double dx = eps * (1.0 + std::fabs(x[j]));
+        Vector xp = x;
+        xp[j] += dx;
+        const Vector fp = f(xp);
+        ++evals;
+        for (std::size_t i = 0; i < n; ++i) jac(i, j) = (fp[i] - fx[i]) / dx;
+    }
+    return jac;
+}
+
+NewtonResult newton_impl(const NonlinearSystem& f, const JacobianFn* jac_fn, Vector x0,
+                         const NewtonOptions& opt) {
+    NewtonResult res;
+    res.x = std::move(x0);
+    Vector fx = f(res.x);
+    ++res.function_evaluations;
+
+    for (res.iterations = 0; res.iterations < opt.max_iterations; ++res.iterations) {
+        res.residual_norm = fx.norm_inf();
+        if (res.residual_norm < opt.tol * (1.0 + res.x.norm_inf())) {
+            res.converged = true;
+            return res;
+        }
+
+        Matrix jac = jac_fn
+            ? (*jac_fn)(res.x)
+            : numerical_jacobian(f, res.x, fx, opt.fd_eps, res.function_evaluations);
+
+        Vector dx;
+        try {
+            dx = LuFactor(std::move(jac)).solve(fx);
+        } catch (const std::runtime_error&) {
+            // Singular Jacobian: bail out, caller inspects `converged`.
+            return res;
+        }
+
+        // Backtracking line search on ||F||_inf.
+        double lambda = 1.0;
+        const double f0 = fx.norm_inf();
+        while (true) {
+            Vector xt = res.x;
+            xt.axpy(-lambda, dx);
+            Vector ft = f(xt);
+            ++res.function_evaluations;
+            if (ft.norm_inf() < f0 || lambda <= opt.min_damping) {
+                res.x = std::move(xt);
+                fx = std::move(ft);
+                break;
+            }
+            lambda *= 0.5;
+        }
+    }
+    res.residual_norm = fx.norm_inf();
+    res.converged = res.residual_norm < opt.tol * (1.0 + res.x.norm_inf());
+    return res;
+}
+
+}  // namespace
+
+NewtonResult newton_solve(const NonlinearSystem& f, Vector x0, const NewtonOptions& opt) {
+    return newton_impl(f, nullptr, std::move(x0), opt);
+}
+
+NewtonResult newton_solve(const NonlinearSystem& f, const JacobianFn& jac, Vector x0,
+                          const NewtonOptions& opt) {
+    return newton_impl(f, &jac, std::move(x0), opt);
+}
+
+double newton_bisect_scalar(const std::function<double(double)>& f, double lo, double hi,
+                            double tol, int max_iterations) {
+    double flo = f(lo);
+    double fhi = f(hi);
+    if (flo == 0.0) return lo;
+    if (fhi == 0.0) return hi;
+    if (flo * fhi > 0.0) {
+        throw std::invalid_argument("newton_bisect_scalar: interval does not bracket a root");
+    }
+    double x = 0.5 * (lo + hi);
+    for (int it = 0; it < max_iterations; ++it) {
+        const double fx = f(x);
+        if (std::fabs(fx) < tol || 0.5 * (hi - lo) < tol) return x;
+        // Newton step from secant-estimated derivative; fall back to bisection
+        // when the step leaves the bracket.
+        const double dfdx = (fhi - flo) / (hi - lo);
+        double xn = dfdx != 0.0 ? x - fx / dfdx : x;
+        if (!(xn > lo && xn < hi)) xn = 0.5 * (lo + hi);
+
+        if (flo * fx < 0.0) {
+            hi = x;
+            fhi = fx;
+        } else {
+            lo = x;
+            flo = fx;
+        }
+        x = (xn > lo && xn < hi) ? xn : 0.5 * (lo + hi);
+    }
+    return x;
+}
+
+}  // namespace ehdoe::num

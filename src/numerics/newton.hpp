@@ -1,0 +1,46 @@
+// ehdoe/numerics/newton.hpp
+//
+// Damped Newton-Raphson for nonlinear algebraic systems F(x) = 0. Used by
+// the classical transient engine (per-timestep companion solves) and as a
+// polish step for stationary points found on response surfaces.
+#pragma once
+
+#include <functional>
+
+#include "numerics/matrix.hpp"
+
+namespace ehdoe::num {
+
+/// System residual F(x) (same dimension as x).
+using NonlinearSystem = std::function<Vector(const Vector& x)>;
+/// Optional analytic Jacobian dF/dx.
+using JacobianFn = std::function<Matrix(const Vector& x)>;
+
+struct NewtonOptions {
+    double tol = 1e-10;          ///< convergence on ||F||_inf, scaled
+    int max_iterations = 100;
+    double fd_eps = 1e-7;        ///< finite-difference perturbation (no analytic J)
+    double min_damping = 1.0 / 256.0;
+};
+
+struct NewtonResult {
+    Vector x;                    ///< final iterate
+    bool converged = false;
+    int iterations = 0;
+    double residual_norm = 0.0;  ///< ||F(x)||_inf at exit
+    std::size_t function_evaluations = 0;
+};
+
+/// Solve F(x)=0 starting from x0 with numerical Jacobian.
+NewtonResult newton_solve(const NonlinearSystem& f, Vector x0, const NewtonOptions& opt = {});
+
+/// Solve F(x)=0 with a user-supplied Jacobian.
+NewtonResult newton_solve(const NonlinearSystem& f, const JacobianFn& jac, Vector x0,
+                          const NewtonOptions& opt = {});
+
+/// Scalar Newton with bisection fallback on [lo, hi]; f(lo) and f(hi) must
+/// bracket a root. Used for threshold-crossing detection in the event layer.
+double newton_bisect_scalar(const std::function<double(double)>& f, double lo, double hi,
+                            double tol = 1e-12, int max_iterations = 200);
+
+}  // namespace ehdoe::num

@@ -1,0 +1,68 @@
+#include "opt/anneal.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ehdoe::opt {
+
+OptResult simulated_annealing(const Objective& f, const Bounds& bounds, const Vector& x0,
+                              const AnnealOptions& opt) {
+    bounds.validate();
+    const std::size_t k = bounds.dimension();
+    if (x0.size() != k)
+        throw std::invalid_argument("simulated_annealing: x0 dimension mismatch");
+    if (!(opt.t_initial > opt.t_final && opt.t_final > 0.0))
+        throw std::invalid_argument("simulated_annealing: need t_initial > t_final > 0");
+    if (!(opt.cooling > 0.0 && opt.cooling < 1.0))
+        throw std::invalid_argument("simulated_annealing: cooling in (0,1)");
+
+    CountedObjective obj(f);
+    num::Rng rng = num::make_rng(opt.seed);
+
+    Vector x = bounds.clamp(x0);
+    double fx = obj(x);
+    Vector best_x = x;
+    double best_f = fx;
+
+    const std::size_t epochs = static_cast<std::size_t>(
+        std::ceil(std::log(opt.t_final / opt.t_initial) / std::log(opt.cooling)));
+
+    OptResult res;
+    double temp = opt.t_initial;
+    for (std::size_t epoch = 0; epoch < epochs; ++epoch) {
+        ++res.iterations;
+        // Step size anneals geometrically from step_initial to step_final.
+        const double frac = epochs > 1 ? static_cast<double>(epoch) /
+                                             static_cast<double>(epochs - 1)
+                                       : 1.0;
+        const double sigma =
+            opt.step_initial * std::pow(opt.step_final / opt.step_initial, frac);
+
+        for (std::size_t m = 0; m < opt.moves_per_epoch; ++m) {
+            Vector prop = x;
+            for (std::size_t g = 0; g < k; ++g) {
+                prop[g] += num::normal(rng, 0.0, sigma * (bounds.hi[g] - bounds.lo[g]));
+            }
+            prop = bounds.clamp(std::move(prop));
+            const double fp = obj(prop);
+            const double delta = fp - fx;
+            if (delta <= 0.0 || num::uniform(rng, 0.0, 1.0) < std::exp(-delta / temp)) {
+                x = std::move(prop);
+                fx = fp;
+                if (fx < best_f) {
+                    best_f = fx;
+                    best_x = x;
+                }
+            }
+        }
+        temp *= opt.cooling;
+    }
+
+    res.x = std::move(best_x);
+    res.value = best_f;
+    res.evaluations = obj.count();
+    res.converged = true;
+    return res;
+}
+
+}  // namespace ehdoe::opt

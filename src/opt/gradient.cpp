@@ -1,0 +1,90 @@
+#include "opt/gradient.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ehdoe::opt {
+
+namespace {
+
+OptResult descend(const Objective& f, const GradientFn* grad, const Bounds& bounds,
+                  const Vector& x0, const GradientDescentOptions& opt) {
+    bounds.validate();
+    const std::size_t k = bounds.dimension();
+    if (x0.size() != k) throw std::invalid_argument("gradient_descent: x0 dimension mismatch");
+    CountedObjective obj(f);
+
+    Vector x = bounds.clamp(x0);
+    double fx = obj(x);
+    double step = opt.initial_step;
+
+    auto numeric_grad = [&](const Vector& at) {
+        Vector g(k);
+        for (std::size_t i = 0; i < k; ++i) {
+            const double h = opt.fd_eps * (bounds.hi[i] - bounds.lo[i]);
+            Vector xp = at, xm = at;
+            xp[i] = std::min(at[i] + h, bounds.hi[i]);
+            xm[i] = std::max(at[i] - h, bounds.lo[i]);
+            const double denom = xp[i] - xm[i];
+            g[i] = denom > 0.0 ? (obj(xp) - obj(xm)) / denom : 0.0;
+        }
+        return g;
+    };
+
+    OptResult res;
+    for (res.iterations = 0; res.iterations < opt.max_iterations; ++res.iterations) {
+        const Vector g = grad ? (*grad)(x) : numeric_grad(x);
+
+        // Projected-gradient convergence: the step the box actually allows.
+        Vector xt = x;
+        xt.axpy(-step, g);
+        xt = bounds.clamp(std::move(xt));
+        Vector pg = x - xt;
+        if (pg.norm_inf() < opt.tol * (1.0 + x.norm_inf())) {
+            res.converged = true;
+            break;
+        }
+
+        // Backtracking line search on the projected path.
+        bool accepted = false;
+        double s = step;
+        for (int back = 0; back < 30; ++back) {
+            Vector xn = x;
+            xn.axpy(-s, g);
+            xn = bounds.clamp(std::move(xn));
+            const double fn = obj(xn);
+            if (fn < fx) {
+                x = std::move(xn);
+                fx = fn;
+                step = s * opt.grow;
+                accepted = true;
+                break;
+            }
+            s *= opt.shrink;
+        }
+        if (!accepted) {
+            res.converged = true;  // no descent direction within line search
+            break;
+        }
+    }
+
+    res.x = std::move(x);
+    res.value = fx;
+    res.evaluations = obj.count();
+    return res;
+}
+
+}  // namespace
+
+OptResult gradient_descent(const Objective& f, const GradientFn& grad, const Bounds& bounds,
+                           const Vector& x0, const GradientDescentOptions& options) {
+    if (!grad) throw std::invalid_argument("gradient_descent: null gradient");
+    return descend(f, &grad, bounds, x0, options);
+}
+
+OptResult gradient_descent(const Objective& f, const Bounds& bounds, const Vector& x0,
+                           const GradientDescentOptions& options) {
+    return descend(f, nullptr, bounds, x0, options);
+}
+
+}  // namespace ehdoe::opt

@@ -1,0 +1,32 @@
+// ehdoe/opt/gradient.hpp
+//
+// Projected gradient descent with backtracking line search. When the
+// caller can provide an analytic gradient (the ResponseSurface can), each
+// iteration costs one gradient + a few evaluations; otherwise a central
+// finite difference is used.
+#pragma once
+
+#include "opt/optimizer.hpp"
+
+namespace ehdoe::opt {
+
+using GradientFn = std::function<Vector(const Vector&)>;
+
+struct GradientDescentOptions {
+    double initial_step = 0.5;
+    double shrink = 0.5;
+    double grow = 1.3;
+    double tol = 1e-10;          ///< projected-gradient norm convergence
+    std::size_t max_iterations = 500;
+    double fd_eps = 1e-6;        ///< finite-difference step (no analytic grad)
+};
+
+/// Minimize with an analytic gradient.
+OptResult gradient_descent(const Objective& f, const GradientFn& grad, const Bounds& bounds,
+                           const Vector& x0, const GradientDescentOptions& options = {});
+
+/// Minimize with a central finite-difference gradient.
+OptResult gradient_descent(const Objective& f, const Bounds& bounds, const Vector& x0,
+                           const GradientDescentOptions& options = {});
+
+}  // namespace ehdoe::opt

@@ -1,0 +1,111 @@
+#include "opt/nelder_mead.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace ehdoe::opt {
+
+OptResult nelder_mead(const Objective& f, const Bounds& bounds, const Vector& x0,
+                      const NelderMeadOptions& opt) {
+    bounds.validate();
+    const std::size_t k = bounds.dimension();
+    if (x0.size() != k) throw std::invalid_argument("nelder_mead: x0 dimension mismatch");
+    CountedObjective obj(f);
+
+    // Initial simplex: x0 plus one vertex per axis, displaced by
+    // initial_step * box width (flipped if that leaves the box).
+    std::vector<Vector> xs(k + 1, bounds.clamp(x0));
+    for (std::size_t i = 0; i < k; ++i) {
+        const double width = bounds.hi[i] - bounds.lo[i];
+        double step = opt.initial_step * width;
+        if (xs[i + 1][i] + step > bounds.hi[i]) step = -step;
+        xs[i + 1][i] += step;
+        xs[i + 1] = bounds.clamp(xs[i + 1]);
+    }
+    std::vector<double> fv(k + 1);
+    for (std::size_t i = 0; i <= k; ++i) fv[i] = obj(xs[i]);
+
+    OptResult res;
+    std::vector<std::size_t> order(k + 1);
+
+    for (res.iterations = 0; res.iterations < opt.max_iterations; ++res.iterations) {
+        std::iota(order.begin(), order.end(), std::size_t{0});
+        std::sort(order.begin(), order.end(),
+                  [&](std::size_t a, std::size_t b) { return fv[a] < fv[b]; });
+        const std::size_t best = order[0], worst = order[k],
+                          second_worst = order[k - 1];
+
+        if (std::fabs(fv[worst] - fv[best]) <
+            opt.tol * (1.0 + std::fabs(fv[best]))) {
+            res.converged = true;
+            break;
+        }
+
+        // Centroid of all but the worst.
+        Vector cen(k);
+        for (std::size_t i = 0; i <= k; ++i) {
+            if (i == worst) continue;
+            cen += xs[i];
+        }
+        cen /= static_cast<double>(k);
+
+        auto towards = [&](double coef) {
+            Vector x = cen;
+            x.axpy(coef, cen - xs[worst]);
+            return bounds.clamp(std::move(x));
+        };
+
+        const Vector xr = towards(opt.reflection);
+        const double fr = obj(xr);
+        if (fr < fv[best]) {
+            const Vector xe = towards(opt.expansion);
+            const double fe = obj(xe);
+            if (fe < fr) {
+                xs[worst] = xe;
+                fv[worst] = fe;
+            } else {
+                xs[worst] = xr;
+                fv[worst] = fr;
+            }
+        } else if (fr < fv[second_worst]) {
+            xs[worst] = xr;
+            fv[worst] = fr;
+        } else {
+            // Contract (outside if the reflection helped at all).
+            const bool outside = fr < fv[worst];
+            Vector xc = cen;
+            if (outside) {
+                xc.axpy(opt.contraction, xr - cen);
+            } else {
+                xc.axpy(-opt.contraction, cen - xs[worst]);
+            }
+            xc = bounds.clamp(std::move(xc));
+            const double fc = obj(xc);
+            if (fc < std::min(fr, fv[worst])) {
+                xs[worst] = xc;
+                fv[worst] = fc;
+            } else {
+                // Shrink toward the best vertex.
+                for (std::size_t i = 0; i <= k; ++i) {
+                    if (i == best) continue;
+                    Vector xn = xs[best];
+                    xn.axpy(opt.shrink, xs[i] - xs[best]);
+                    xs[i] = bounds.clamp(std::move(xn));
+                    fv[i] = obj(xs[i]);
+                }
+            }
+        }
+    }
+
+    const auto ibest = static_cast<std::size_t>(
+        std::min_element(fv.begin(), fv.end()) - fv.begin());
+    res.x = xs[ibest];
+    res.value = fv[ibest];
+    res.evaluations = obj.count();
+    return res;
+}
+
+}  // namespace ehdoe::opt

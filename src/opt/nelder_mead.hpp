@@ -1,0 +1,26 @@
+// ehdoe/opt/nelder_mead.hpp
+//
+// Nelder-Mead downhill simplex with box projection — the default local
+// optimizer for response surfaces (derivative-free, robust to the mild
+// non-smoothness clamping introduces).
+#pragma once
+
+#include "opt/optimizer.hpp"
+
+namespace ehdoe::opt {
+
+struct NelderMeadOptions {
+    double initial_step = 0.25;   ///< simplex edge, in box units
+    double tol = 1e-9;            ///< simplex value-spread convergence
+    std::size_t max_iterations = 2000;
+    // Standard coefficients.
+    double reflection = 1.0;
+    double expansion = 2.0;
+    double contraction = 0.5;
+    double shrink = 0.5;
+};
+
+OptResult nelder_mead(const Objective& f, const Bounds& bounds, const Vector& x0,
+                      const NelderMeadOptions& options = {});
+
+}  // namespace ehdoe::opt

@@ -1,0 +1,47 @@
+#include "opt/optimizer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ehdoe::opt {
+
+Bounds Bounds::coded_cube(std::size_t k) {
+    Bounds b;
+    b.lo = Vector(k, -1.0);
+    b.hi = Vector(k, 1.0);
+    return b;
+}
+
+void Bounds::validate() const {
+    if (lo.size() != hi.size() || lo.empty())
+        throw std::invalid_argument("Bounds: lo/hi size mismatch or empty");
+    for (std::size_t i = 0; i < lo.size(); ++i) {
+        if (!(hi[i] > lo[i])) throw std::invalid_argument("Bounds: hi > lo required");
+    }
+}
+
+Vector Bounds::clamp(Vector x) const {
+    if (x.size() != lo.size()) throw std::invalid_argument("Bounds::clamp: dimension mismatch");
+    for (std::size_t i = 0; i < x.size(); ++i) x[i] = std::clamp(x[i], lo[i], hi[i]);
+    return x;
+}
+
+bool Bounds::contains(const Vector& x, double tol) const {
+    if (x.size() != lo.size()) return false;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        if (x[i] < lo[i] - tol || x[i] > hi[i] + tol) return false;
+    }
+    return true;
+}
+
+Vector Bounds::sample(std::function<double()> unit_rand) const {
+    Vector x(lo.size());
+    for (std::size_t i = 0; i < x.size(); ++i) x[i] = lo[i] + (hi[i] - lo[i]) * unit_rand();
+    return x;
+}
+
+Objective negated(Objective f) {
+    return [f = std::move(f)](const Vector& x) { return -f(x); };
+}
+
+}  // namespace ehdoe::opt

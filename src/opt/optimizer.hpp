@@ -1,0 +1,91 @@
+// ehdoe/opt/optimizer.hpp
+//
+// Common vocabulary for the optimizers: box-constrained minimization of a
+// black-box objective. Two families live here:
+//  * cheap local searches used *on the RSM* (Nelder-Mead, projected
+//    gradient, Hooke-Jeeves) where an evaluation costs nanoseconds;
+//  * the classical global heuristics (GA, SA) the abstract cites as the
+//    too-slow status quo when run *directly on the simulator* — the T5
+//    bench quantifies exactly that comparison.
+//
+// All optimizers minimize; use `negated` to maximize. Evaluation counts are
+// tracked by wrapping the objective (CountedObjective), because simulator
+// invocations are the currency the paper's comparison is denominated in.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "numerics/matrix.hpp"
+
+namespace ehdoe::opt {
+
+using num::Matrix;
+using num::Vector;
+
+/// Objective: R^k -> R, minimized.
+using Objective = std::function<double(const Vector&)>;
+
+/// Box constraints; defaults to the coded DoE cube [-1, 1]^k.
+struct Bounds {
+    Vector lo;
+    Vector hi;
+
+    static Bounds coded_cube(std::size_t k);
+    void validate() const;
+    std::size_t dimension() const { return lo.size(); }
+    Vector clamp(Vector x) const;
+    bool contains(const Vector& x, double tol = 1e-12) const;
+    /// Uniform random point inside the box.
+    Vector sample(std::function<double()> unit_rand) const;
+};
+
+struct OptResult {
+    Vector x;
+    double value = 0.0;
+    std::size_t evaluations = 0;
+    std::size_t iterations = 0;
+    bool converged = false;
+};
+
+/// Wraps an objective and counts invocations (thread-compatible, not
+/// thread-safe: the optimizers here are serial).
+class CountedObjective {
+public:
+    explicit CountedObjective(Objective f) : f_(std::move(f)) {}
+    double operator()(const Vector& x) const {
+        ++count_;
+        return f_(x);
+    }
+    std::size_t count() const { return count_; }
+
+private:
+    Objective f_;
+    mutable std::size_t count_ = 0;
+};
+
+/// Maximization adapter.
+Objective negated(Objective f);
+
+/// Run an optimizer functor from several start points, keep the best.
+/// `starts` rows are initial points.
+template <typename Optimizer>
+OptResult multi_start(const Optimizer& optimize, const Matrix& starts) {
+    OptResult best;
+    best.value = 1e300;
+    for (std::size_t i = 0; i < starts.rows(); ++i) {
+        OptResult r = optimize(starts.row(i));
+        best.evaluations += r.evaluations;
+        best.iterations += r.iterations;
+        if (r.value < best.value) {
+            const std::size_t evals = best.evaluations;
+            const std::size_t iters = best.iterations;
+            best = std::move(r);
+            best.evaluations = evals;
+            best.iterations = iters;
+        }
+    }
+    return best;
+}
+
+}  // namespace ehdoe::opt

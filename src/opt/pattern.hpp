@@ -1,0 +1,22 @@
+// ehdoe/opt/pattern.hpp
+//
+// Hooke-Jeeves pattern search: derivative-free coordinate exploration with
+// pattern moves. Included both as an RSM local search and as a classical
+// direct-on-simulator baseline for T5.
+#pragma once
+
+#include "opt/optimizer.hpp"
+
+namespace ehdoe::opt {
+
+struct PatternSearchOptions {
+    double initial_step = 0.25;   ///< in box-width units
+    double shrink = 0.5;
+    double min_step = 1e-8;
+    std::size_t max_iterations = 2000;
+};
+
+OptResult pattern_search(const Objective& f, const Bounds& bounds, const Vector& x0,
+                         const PatternSearchOptions& options = {});
+
+}  // namespace ehdoe::opt

@@ -1,0 +1,191 @@
+#include "rsm/diagnostics.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "numerics/linalg.hpp"
+
+namespace ehdoe::rsm {
+
+// ---------------------------------------------------------- distributions
+
+namespace {
+
+/// log Gamma via Lanczos.
+double log_gamma(double x) {
+    static const double g[] = {676.5203681218851,     -1259.1392167224028,
+                               771.32342877765313,    -176.61502916214059,
+                               12.507343278686905,    -0.13857109526572012,
+                               9.9843695780195716e-6, 1.5056327351493116e-7};
+    if (x < 0.5) {
+        // Reflection formula.
+        return std::log(M_PI / std::sin(M_PI * x)) - log_gamma(1.0 - x);
+    }
+    x -= 1.0;
+    double a = 0.99999999999980993;
+    const double t = x + 7.5;
+    for (int i = 0; i < 8; ++i) a += g[i] / (x + static_cast<double>(i) + 1.0);
+    return 0.5 * std::log(2.0 * M_PI) + (x + 0.5) * std::log(t) - t + std::log(a);
+}
+
+/// Continued fraction for the incomplete beta (Numerical Recipes betacf).
+double betacf(double a, double b, double x) {
+    constexpr int kMaxIter = 300;
+    constexpr double kEps = 3e-14;
+    constexpr double kFpMin = 1e-300;
+
+    const double qab = a + b;
+    const double qap = a + 1.0;
+    const double qam = a - 1.0;
+    double c = 1.0;
+    double d = 1.0 - qab * x / qap;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    d = 1.0 / d;
+    double h = d;
+    for (int m = 1; m <= kMaxIter; ++m) {
+        const double m2 = 2.0 * m;
+        double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if (std::fabs(d) < kFpMin) d = kFpMin;
+        c = 1.0 + aa / c;
+        if (std::fabs(c) < kFpMin) c = kFpMin;
+        d = 1.0 / d;
+        h *= d * c;
+        aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if (std::fabs(d) < kFpMin) d = kFpMin;
+        c = 1.0 + aa / c;
+        if (std::fabs(c) < kFpMin) c = kFpMin;
+        d = 1.0 / d;
+        const double del = d * c;
+        h *= del;
+        if (std::fabs(del - 1.0) < kEps) break;
+    }
+    return h;
+}
+
+}  // namespace
+
+double incomplete_beta(double a, double b, double x) {
+    if (!(a > 0.0) || !(b > 0.0)) throw std::invalid_argument("incomplete_beta: a, b > 0");
+    if (x <= 0.0) return 0.0;
+    if (x >= 1.0) return 1.0;
+    const double ln_bt = log_gamma(a + b) - log_gamma(a) - log_gamma(b) + a * std::log(x) +
+                         b * std::log(1.0 - x);
+    const double bt = std::exp(ln_bt);
+    if (x < (a + 1.0) / (a + b + 2.0)) {
+        return bt * betacf(a, b, x) / a;
+    }
+    return 1.0 - bt * betacf(b, a, 1.0 - x) / b;
+}
+
+double student_t_p_value(double t, double dof) {
+    if (!(dof > 0.0)) throw std::invalid_argument("student_t_p_value: dof > 0");
+    const double x = dof / (dof + t * t);
+    return incomplete_beta(dof / 2.0, 0.5, x);
+}
+
+double f_distribution_p_value(double f, double d1, double d2) {
+    if (!(d1 > 0.0) || !(d2 > 0.0))
+        throw std::invalid_argument("f_distribution_p_value: dof > 0");
+    if (f <= 0.0) return 1.0;
+    return incomplete_beta(d2 / 2.0, d1 / 2.0, d2 / (d2 + d1 * f));
+}
+
+// ------------------------------------------------------------- diagnose
+
+Diagnostics diagnose(const FitResult& fit, const std::vector<std::string>& factor_names) {
+    Diagnostics d;
+    const std::size_t n = fit.n;
+    const std::size_t p = fit.p;
+    if (n <= p) throw std::invalid_argument("diagnose: needs n > p (residual dof)");
+
+    // (X^T X)^-1 for standard errors and the hat matrix.
+    const Matrix xtx = num::mul_at_b(fit.x, fit.x);
+    Matrix xtx_inv;
+    try {
+        xtx_inv = num::LuFactor(xtx).inverse();
+    } catch (const std::runtime_error&) {
+        throw std::runtime_error("diagnose: singular information matrix");
+    }
+
+    const double dof = static_cast<double>(n - p);
+
+    // Coefficient stats.
+    d.coefficients.resize(p);
+    for (std::size_t j = 0; j < p; ++j) {
+        CoefficientStats& c = d.coefficients[j];
+        c.term = fit.model.terms()[j].to_string(factor_names);
+        c.estimate = fit.coefficients[j];
+        c.std_error = std::sqrt(std::max(fit.sigma2 * xtx_inv(j, j), 0.0));
+        c.t_value = c.std_error > 0.0 ? c.estimate / c.std_error : 0.0;
+        c.p_value = c.std_error > 0.0 ? student_t_p_value(c.t_value, dof) : 1.0;
+    }
+
+    // ANOVA. SSR = SST - SSE; F = (SSR/df_r) / (SSE/df_e). df_r excludes the
+    // intercept when present.
+    bool has_intercept = false;
+    for (const auto& t : fit.model.terms()) {
+        if (t.is_constant()) { has_intercept = true; break; }
+    }
+    d.anova.ss_total = fit.sst;
+    d.anova.ss_error = fit.sse;
+    d.anova.ss_regression = std::max(fit.sst - fit.sse, 0.0);
+    d.anova.df_regression = p - (has_intercept ? 1 : 0);
+    d.anova.df_error = n - p;
+    if (d.anova.df_regression > 0 && d.anova.df_error > 0 && d.anova.ss_error > 0.0) {
+        d.anova.f_statistic = (d.anova.ss_regression / static_cast<double>(d.anova.df_regression)) /
+                              (d.anova.ss_error / static_cast<double>(d.anova.df_error));
+        d.anova.p_value = f_distribution_p_value(
+            d.anova.f_statistic, static_cast<double>(d.anova.df_regression),
+            static_cast<double>(d.anova.df_error));
+    }
+
+    // Leverage h_i = x_i^T (X^T X)^-1 x_i and PRESS = sum (e_i/(1-h_i))^2.
+    d.leverage.resize(n);
+    d.press = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const Vector xi = fit.x.row(i);
+        const Vector v = xtx_inv * xi;
+        d.leverage[i] = num::dot(xi, v);
+        const double denom = 1.0 - d.leverage[i];
+        const double e = fit.residuals[i];
+        // Guard: replicated points can drive h -> 1; cap the contribution.
+        d.press += denom > 1e-8 ? (e / denom) * (e / denom) : e * e * 1e16;
+    }
+    d.r_squared_pred = fit.sst > 0.0 ? 1.0 - d.press / fit.sst : 0.0;
+
+    // VIF per non-constant term: regress column j on the other columns.
+    d.vif.assign(p, 1.0);
+    for (std::size_t j = 0; j < p; ++j) {
+        if (fit.model.terms()[j].is_constant()) continue;
+        // R^2 of column j against remaining columns (incl. intercept).
+        Matrix xother(n, p - 1);
+        Vector xj(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            xj[i] = fit.x(i, j);
+            std::size_t cc = 0;
+            for (std::size_t c = 0; c < p; ++c) {
+                if (c == j) continue;
+                xother(i, cc++) = fit.x(i, c);
+            }
+        }
+        try {
+            const Vector beta = num::QrFactor(xother).solve(xj);
+            const Vector pred = xother * beta;
+            double sse = 0.0, sst = 0.0;
+            const double mean_j = xj.sum() / static_cast<double>(n);
+            for (std::size_t i = 0; i < n; ++i) {
+                sse += (xj[i] - pred[i]) * (xj[i] - pred[i]);
+                sst += (xj[i] - mean_j) * (xj[i] - mean_j);
+            }
+            const double r2 = sst > 0.0 ? 1.0 - sse / sst : 0.0;
+            d.vif[j] = r2 < 1.0 - 1e-12 ? 1.0 / (1.0 - r2) : 1e12;
+        } catch (const std::runtime_error&) {
+            d.vif[j] = 1e12;  // perfectly collinear
+        }
+    }
+    return d;
+}
+
+}  // namespace ehdoe::rsm

@@ -1,0 +1,58 @@
+// ehdoe/rsm/diagnostics.hpp
+//
+// Regression diagnostics for fitted response surfaces: coefficient
+// inference (standard errors, t-statistics, p-values), ANOVA for the
+// regression, PRESS / leverage from the hat matrix, and variance inflation
+// factors. These are what the paper's flow uses to decide whether an RSM
+// is trustworthy before exploring on it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rsm/fit.hpp"
+
+namespace ehdoe::rsm {
+
+/// Per-coefficient inference.
+struct CoefficientStats {
+    std::string term;       ///< printable term
+    double estimate = 0.0;
+    double std_error = 0.0;
+    double t_value = 0.0;
+    double p_value = 1.0;   ///< two-sided, Student-t with n-p dof
+};
+
+/// ANOVA for the regression as a whole.
+struct Anova {
+    double ss_regression = 0.0;
+    double ss_error = 0.0;
+    double ss_total = 0.0;
+    std::size_t df_regression = 0;
+    std::size_t df_error = 0;
+    double f_statistic = 0.0;
+    double p_value = 1.0;   ///< F-test of the full regression
+};
+
+struct Diagnostics {
+    std::vector<CoefficientStats> coefficients;
+    Anova anova;
+    double press = 0.0;         ///< prediction SSE (leave-one-out, via hat matrix)
+    double r_squared_pred = 0.0;///< 1 - PRESS/SST
+    std::vector<double> leverage;  ///< hat-matrix diagonal
+    std::vector<double> vif;    ///< variance inflation factor per non-constant term
+};
+
+/// Full diagnostic computation for a fit.
+Diagnostics diagnose(const FitResult& fit, const std::vector<std::string>& factor_names = {});
+
+// ---- distribution helpers (exposed for tests) ------------------------------
+
+/// Regularized incomplete beta function I_x(a, b) by continued fraction.
+double incomplete_beta(double a, double b, double x);
+/// Two-sided p-value of a Student-t statistic with `dof` degrees of freedom.
+double student_t_p_value(double t, double dof);
+/// Upper-tail p-value of an F statistic with (d1, d2) degrees of freedom.
+double f_distribution_p_value(double f, double d1, double d2);
+
+}  // namespace ehdoe::rsm

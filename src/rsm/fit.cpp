@@ -1,0 +1,92 @@
+#include "rsm/fit.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "numerics/linalg.hpp"
+#include "numerics/stats.hpp"
+
+namespace ehdoe::rsm {
+
+double FitResult::adjusted_r_squared() const {
+    if (n <= p || sst <= 0.0) return r_squared();
+    const double dn = static_cast<double>(n);
+    const double dp = static_cast<double>(p);
+    return 1.0 - (sse / (dn - dp)) / (sst / (dn - 1.0));
+}
+
+double FitResult::rmse() const {
+    return n > 0 ? std::sqrt(sse / static_cast<double>(n)) : 0.0;
+}
+
+double FitResult::predict(const Vector& coded) const {
+    return num::dot(model.build_row(coded), coefficients);
+}
+
+std::vector<double> FitResult::predict(const Matrix& coded_points) const {
+    std::vector<double> out(coded_points.rows());
+    for (std::size_t i = 0; i < coded_points.rows(); ++i) {
+        out[i] = predict(coded_points.row(i));
+    }
+    return out;
+}
+
+namespace {
+
+FitResult fit_impl(const ModelSpec& model, const Matrix& coded_points,
+                   const std::vector<double>& y, const std::vector<double>* weights) {
+    const std::size_t n = coded_points.rows();
+    if (y.size() != n) throw std::invalid_argument("fit: y size != design rows");
+    if (n < model.num_terms()) {
+        throw std::invalid_argument("fit: fewer runs (" + std::to_string(n) + ") than terms (" +
+                                    std::to_string(model.num_terms()) + ")");
+    }
+
+    Matrix x = model.build_matrix(coded_points);
+    Vector yv(n);
+    for (std::size_t i = 0; i < n; ++i) yv[i] = y[i];
+
+    if (weights) {
+        if (weights->size() != n) throw std::invalid_argument("fit: weights size mismatch");
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!((*weights)[i] > 0.0)) throw std::invalid_argument("fit: weights must be > 0");
+            const double s = std::sqrt((*weights)[i]);
+            for (std::size_t j = 0; j < x.cols(); ++j) x(i, j) *= s;
+            yv[i] *= s;
+        }
+    }
+
+    Vector beta;
+    try {
+        beta = num::QrFactor(x).solve(yv);
+    } catch (const std::runtime_error& e) {
+        throw std::runtime_error(std::string("fit: ") + e.what() +
+                                 " — the design does not support this model");
+    }
+
+    FitResult r{model, beta, Vector(n), std::move(x), y, 0.0, 0.0, 0.0, n, model.num_terms()};
+    // Residuals on the (possibly weighted) system.
+    const Vector yhat = r.x * beta;
+    for (std::size_t i = 0; i < n; ++i) {
+        r.residuals[i] = yv[i] - yhat[i];
+        r.sse += r.residuals[i] * r.residuals[i];
+    }
+    const double ybar = num::mean(y);
+    for (std::size_t i = 0; i < n; ++i) r.sst += (yv[i] - ybar) * (yv[i] - ybar);
+    r.sigma2 = n > r.p ? r.sse / static_cast<double>(n - r.p) : 0.0;
+    return r;
+}
+
+}  // namespace
+
+FitResult fit_ols(const ModelSpec& model, const Matrix& coded_points,
+                  const std::vector<double>& y) {
+    return fit_impl(model, coded_points, y, nullptr);
+}
+
+FitResult fit_wls(const ModelSpec& model, const Matrix& coded_points,
+                  const std::vector<double>& y, const std::vector<double>& weights) {
+    return fit_impl(model, coded_points, y, &weights);
+}
+
+}  // namespace ehdoe::rsm

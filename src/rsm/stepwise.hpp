@@ -1,0 +1,44 @@
+// ehdoe/rsm/stepwise.hpp
+//
+// Model reduction: backward elimination (drop the least significant term
+// while its p-value exceeds a threshold) and forward selection (greedily
+// add the term that lowers PRESS). The paper's flow fits full quadratics;
+// stepwise pruning tightens prediction variance when the design has few
+// excess degrees of freedom.
+#pragma once
+
+#include <vector>
+
+#include "rsm/diagnostics.hpp"
+#include "rsm/fit.hpp"
+
+namespace ehdoe::rsm {
+
+struct StepwiseOptions {
+    double p_to_remove = 0.10;   ///< backward: drop terms with p above this
+    bool keep_intercept = true;
+    /// Keep main effects whose interactions/quadratics are still present
+    /// (model heredity).
+    bool enforce_heredity = true;
+    std::size_t max_steps = 100;
+};
+
+struct StepwiseResult {
+    FitResult fit;
+    std::size_t terms_removed = 0;
+    std::vector<std::string> removed_terms;  ///< printable names, drop order
+};
+
+/// Backward elimination starting from `initial` (already fitted terms).
+StepwiseResult backward_eliminate(const ModelSpec& initial, const Matrix& coded_points,
+                                  const std::vector<double>& y,
+                                  const StepwiseOptions& options = {});
+
+/// Forward selection from an intercept-only model over candidate `pool`
+/// terms, adding while PRESS improves by at least `min_press_gain`
+/// (relative).
+FitResult forward_select(std::size_t k, const std::vector<num::Monomial>& pool,
+                         const Matrix& coded_points, const std::vector<double>& y,
+                         double min_press_gain = 1e-3, std::size_t max_terms = 0);
+
+}  // namespace ehdoe::rsm

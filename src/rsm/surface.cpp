@@ -1,0 +1,149 @@
+#include "rsm/surface.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace ehdoe::rsm {
+
+ResponseSurface::ResponseSurface(FitResult fit, doe::DesignSpace space,
+                                 std::string response_name)
+    : fit_(std::move(fit)), space_(std::move(space)), name_(std::move(response_name)) {
+    if (fit_.model.dimension() != space_.dimension()) {
+        throw std::invalid_argument("ResponseSurface: model/space dimension mismatch");
+    }
+}
+
+double ResponseSurface::value(const Vector& coded) const { return fit_.predict(coded); }
+
+Vector ResponseSurface::gradient(const Vector& coded) const {
+    if (coded.size() != dimension())
+        throw std::invalid_argument("ResponseSurface::gradient: dimension mismatch");
+    Vector g(dimension());
+    const auto& terms = fit_.model.terms();
+    for (std::size_t j = 0; j < dimension(); ++j) {
+        double acc = 0.0;
+        for (std::size_t t = 0; t < terms.size(); ++t) {
+            acc += fit_.coefficients[t] * terms[t].derivative(coded, j);
+        }
+        g[j] = acc;
+    }
+    return g;
+}
+
+Matrix ResponseSurface::hessian(const Vector& coded) const {
+    if (coded.size() != dimension())
+        throw std::invalid_argument("ResponseSurface::hessian: dimension mismatch");
+    Matrix h(dimension(), dimension());
+    const auto& terms = fit_.model.terms();
+    for (std::size_t a = 0; a < dimension(); ++a) {
+        for (std::size_t b = a; b < dimension(); ++b) {
+            double acc = 0.0;
+            for (std::size_t t = 0; t < terms.size(); ++t) {
+                acc += fit_.coefficients[t] * terms[t].second_derivative(coded, a, b);
+            }
+            h(a, b) = acc;
+            h(b, a) = acc;
+        }
+    }
+    return h;
+}
+
+double ResponseSurface::value_natural(const Vector& natural) const {
+    return value(space_.to_coded(natural));
+}
+
+std::optional<StationaryPoint> ResponseSurface::stationary_point(double tol) const {
+    const std::size_t k = dimension();
+    const Vector origin(k);
+    const Matrix h = hessian(origin);  // constant for quadratic models
+    if (h.max_abs() < tol) return std::nullopt;
+
+    // Solve H x = -b where b is the linear-part gradient at the origin.
+    const Vector b = gradient(origin);
+    Vector xs;
+    try {
+        xs = num::LuFactor(h).solve(-b);
+    } catch (const std::runtime_error&) {
+        return std::nullopt;  // singular Hessian: ridge system
+    }
+
+    StationaryPoint sp;
+    sp.coded = xs;
+    sp.value = value(xs);
+    const num::SymmetricEigen eig = num::eigen_symmetric(h);
+    sp.eigenvalues = eig.eigenvalues;
+    sp.eigenvectors = eig.eigenvectors;
+
+    const double lmin = sp.eigenvalues[0];
+    const double lmax = sp.eigenvalues[sp.eigenvalues.size() - 1];
+    const double scale = std::max(std::fabs(lmin), std::fabs(lmax));
+    if (scale < tol) {
+        sp.kind = StationaryKind::Degenerate;
+    } else if (lmin > tol * scale) {
+        sp.kind = StationaryKind::Minimum;
+    } else if (lmax < -tol * scale) {
+        sp.kind = StationaryKind::Maximum;
+    } else if (std::fabs(lmin) <= tol * scale || std::fabs(lmax) <= tol * scale) {
+        sp.kind = StationaryKind::Degenerate;
+    } else {
+        sp.kind = StationaryKind::Saddle;
+    }
+    sp.inside_region = space_.contains(sp.coded);
+    return sp;
+}
+
+Matrix ResponseSurface::slice(std::size_t fi, std::size_t fj, const Vector& fixed_coded,
+                              std::size_t n, double lo, double hi) const {
+    if (fi >= dimension() || fj >= dimension() || fi == fj)
+        throw std::invalid_argument("ResponseSurface::slice: bad factor indices");
+    if (fixed_coded.size() != dimension())
+        throw std::invalid_argument("ResponseSurface::slice: fixed point dimension");
+    if (n < 2) throw std::invalid_argument("ResponseSurface::slice: n >= 2");
+
+    Matrix out(n, n);
+    Vector x = fixed_coded;
+    for (std::size_t r = 0; r < n; ++r) {
+        x[fi] = lo + (hi - lo) * static_cast<double>(r) / static_cast<double>(n - 1);
+        for (std::size_t c = 0; c < n; ++c) {
+            x[fj] = lo + (hi - lo) * static_cast<double>(c) / static_cast<double>(n - 1);
+            out(r, c) = value(x);
+        }
+    }
+    return out;
+}
+
+ResponseSurface::GridBest ResponseSurface::grid_best(std::size_t levels_per_factor,
+                                                     bool maximize) const {
+    if (levels_per_factor < 2)
+        throw std::invalid_argument("ResponseSurface::grid_best: levels >= 2");
+    const std::size_t k = dimension();
+    std::size_t total = 1;
+    for (std::size_t f = 0; f < k; ++f) {
+        if (total > 50'000'000 / levels_per_factor)
+            throw std::invalid_argument("ResponseSurface::grid_best: grid too large");
+        total *= levels_per_factor;
+    }
+
+    GridBest best{Vector(k), maximize ? -1e300 : 1e300};
+    std::vector<std::size_t> idx(k, 0);
+    Vector x(k);
+    for (std::size_t it = 0; it < total; ++it) {
+        for (std::size_t f = 0; f < k; ++f) {
+            x[f] = -1.0 + 2.0 * static_cast<double>(idx[f]) /
+                              static_cast<double>(levels_per_factor - 1);
+        }
+        const double v = value(x);
+        if (maximize ? v > best.value : v < best.value) {
+            best.value = v;
+            best.coded = x;
+        }
+        for (std::size_t f = 0; f < k; ++f) {
+            if (++idx[f] < levels_per_factor) break;
+            idx[f] = 0;
+        }
+    }
+    return best;
+}
+
+}  // namespace ehdoe::rsm

@@ -1,0 +1,98 @@
+#include "sim/events.hpp"
+
+#include <limits>
+#include <memory>
+#include <stdexcept>
+
+namespace ehdoe::sim {
+
+std::uint64_t EventQueue::schedule(double when, Callback cb, int priority) {
+    if (when < now_) throw std::invalid_argument("EventQueue::schedule: event in the past");
+    if (!cb) throw std::invalid_argument("EventQueue::schedule: empty callback");
+    auto entry = std::make_unique<Entry>();
+    entry->when = when;
+    entry->priority = priority;
+    entry->seq = next_seq_++;
+    entry->cb = std::move(cb);
+    Entry* raw = entry.get();
+    storage_.push_back(std::move(entry));
+    queue_.push(raw);
+    ++live_count_;
+    return raw->seq;
+}
+
+std::uint64_t EventQueue::schedule_in(double delay, Callback cb, int priority) {
+    if (delay < 0.0) throw std::invalid_argument("EventQueue::schedule_in: negative delay");
+    return schedule(now_ + delay, std::move(cb), priority);
+}
+
+bool EventQueue::cancel(std::uint64_t id) {
+    // Linear scan over live entries; queues here hold only a handful of
+    // pending events (a few tasks + controller checks), so this is cheap.
+    for (auto& e : storage_) {
+        if (e && e->seq == id && !e->cancelled) {
+            e->cancelled = true;
+            --live_count_;
+            return true;
+        }
+    }
+    return false;
+}
+
+double EventQueue::next_time() const {
+    // Skip cancelled heads without mutating (const) — peek via copy of top
+    // pointers is not possible with std::priority_queue, so report the head
+    // even if cancelled; callers use empty()/run_next() for exact control.
+    if (live_count_ == 0) return std::numeric_limits<double>::infinity();
+    return queue_.empty() ? std::numeric_limits<double>::infinity() : queue_.top()->when;
+}
+
+bool EventQueue::run_next() {
+    while (!queue_.empty()) {
+        Entry* e = queue_.top();
+        queue_.pop();
+        if (e->cancelled) continue;
+        now_ = e->when;
+        --live_count_;
+        ++dispatched_;
+        Callback cb = std::move(e->cb);
+        e->cancelled = true;  // mark consumed
+        cb(now_);
+        // Opportunistic compaction when most storage is dead.
+        if (storage_.size() > 1024 && live_count_ * 4 < storage_.size()) {
+            std::erase_if(storage_, [](const std::unique_ptr<Entry>& p) { return p->cancelled; });
+        }
+        return true;
+    }
+    return false;
+}
+
+void EventQueue::run_until(double t_end) {
+    while (!queue_.empty()) {
+        Entry* head = queue_.top();
+        if (head->cancelled) {
+            queue_.pop();
+            continue;
+        }
+        if (head->when > t_end) break;
+        run_next();
+    }
+    if (t_end > now_) now_ = t_end;
+}
+
+void schedule_periodic(EventQueue& q, double first, double period,
+                       std::function<bool(double)> task, int priority) {
+    if (!(period > 0.0)) throw std::invalid_argument("schedule_periodic: period must be positive");
+    auto shared_task = std::make_shared<std::function<bool(double)>>(std::move(task));
+    // A self-rescheduling callback must outlive each dispatch, so it lives in
+    // a shared holder captured by value.
+    auto holder = std::make_shared<std::function<void(double)>>();
+    *holder = [&q, period, shared_task, priority, holder](double t) {
+        if ((*shared_task)(t)) {
+            q.schedule(t + period, *holder, priority);
+        }
+    };
+    q.schedule(first, *holder, priority);
+}
+
+}  // namespace ehdoe::sim

@@ -1,0 +1,104 @@
+#include "sim/state_space.hpp"
+
+#include <stdexcept>
+
+namespace ehdoe::sim {
+
+PwlStateSpaceEngine::PwlStateSpaceEngine(PwlSystem system, PwlEngineOptions options)
+    : sys_(std::move(system)),
+      opt_(options),
+      x_(sys_.state_dim),
+      scratch_a_(sys_.state_dim, sys_.state_dim),
+      scratch_b_(sys_.state_dim, sys_.input_dim) {
+    if (sys_.state_dim == 0) throw std::invalid_argument("PwlStateSpaceEngine: empty system");
+    if (!sys_.assemble) throw std::invalid_argument("PwlStateSpaceEngine: missing assemble()");
+    if (!sys_.switches.empty() && !sys_.branch_voltage) {
+        throw std::invalid_argument("PwlStateSpaceEngine: switches present but no branch_voltage()");
+    }
+    if (sys_.switches.size() > 31) {
+        throw std::invalid_argument("PwlStateSpaceEngine: at most 31 switches supported");
+    }
+    if (!(opt_.step > 0.0)) throw std::invalid_argument("PwlStateSpaceEngine: step must be positive");
+    seg_ = classify(x_);
+}
+
+void PwlStateSpaceEngine::set_state(Vector x) {
+    if (x.size() != sys_.state_dim)
+        throw std::invalid_argument("PwlStateSpaceEngine::set_state: dimension mismatch");
+    x_ = std::move(x);
+    seg_ = classify(x_);
+}
+
+void PwlStateSpaceEngine::invalidate_cache() {
+    // Bump the epoch rather than clearing: old entries become unreachable and
+    // are dropped lazily, which keeps invalidation O(1) during tuning bursts.
+    ++epoch_;
+    if (cache_.size() > 4096) cache_.clear();
+}
+
+std::uint32_t PwlStateSpaceEngine::classify(const Vector& x) const {
+    std::uint32_t seg = 0;
+    for (std::size_t i = 0; i < sys_.switches.size(); ++i) {
+        if (sys_.branch_voltage(i, x) >= sys_.switches[i].v_on) seg |= (1u << i);
+    }
+    return seg;
+}
+
+const num::Discretized& PwlStateSpaceEngine::discretization(std::uint32_t seg) {
+    const std::uint64_t key = (epoch_ << 32) | seg;
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+        ++stats_.cache_hits;
+        return it->second;
+    }
+    ++stats_.cache_misses;
+    scratch_a_.fill(0.0);
+    scratch_b_.fill(0.0);
+    sys_.assemble(seg, scratch_a_, scratch_b_);
+    auto [pos, inserted] =
+        cache_.emplace(key, num::discretize_zoh(scratch_a_, scratch_b_, opt_.step));
+    (void)inserted;
+    return pos->second;
+}
+
+void PwlStateSpaceEngine::step(const Vector& u) {
+    if (u.size() != sys_.input_dim)
+        throw std::invalid_argument("PwlStateSpaceEngine::step: input dimension mismatch");
+
+    std::uint32_t seg = seg_;
+    Vector x_new;
+    for (int attempt = 0;; ++attempt) {
+        const num::Discretized& d = discretization(seg);
+        x_new = d.ad * x_;
+        x_new += d.bd * u;
+        const std::uint32_t seg_after = classify(x_new);
+        if (seg_after == seg || attempt >= opt_.max_retries || !opt_.retry_on_segment_change) {
+            if (seg_after != seg) ++stats_.segment_changes;
+            seg = seg_after;
+            break;
+        }
+        // The trajectory crossed a diode threshold mid-step: redo the step
+        // under the post-crossing segment. This is the "accept the segment
+        // the step lands in" rule of [4]; one retry is almost always enough.
+        ++stats_.retried_steps;
+        ++stats_.segment_changes;
+        seg = seg_after;
+    }
+
+    x_ = std::move(x_new);
+    seg_ = seg;
+    t_ += opt_.step;
+    ++stats_.steps;
+}
+
+void PwlStateSpaceEngine::run(double t_end, const std::function<Vector(double)>& input,
+                              const std::function<void(double, const Vector&)>& observer) {
+    if (!input) throw std::invalid_argument("PwlStateSpaceEngine::run: missing input()");
+    while (t_ < t_end - 0.5 * opt_.step) {
+        const Vector u = input(t_);
+        step(u);
+        if (observer) observer(t_, x_);
+    }
+}
+
+}  // namespace ehdoe::sim

@@ -1,0 +1,114 @@
+#include "sim/transient.hpp"
+
+#include <cmath>
+#include <optional>
+#include <stdexcept>
+
+#include "numerics/linalg.hpp"
+
+namespace ehdoe::sim {
+
+TransientEngine::TransientEngine(num::OdeRhs rhs, std::size_t state_dim, TransientOptions options)
+    : rhs_(std::move(rhs)), opt_(options), x_(state_dim) {
+    if (!rhs_) throw std::invalid_argument("TransientEngine: missing rhs");
+    if (state_dim == 0) throw std::invalid_argument("TransientEngine: empty state");
+    if (!(opt_.step > 0.0)) throw std::invalid_argument("TransientEngine: step must be positive");
+    if (opt_.jacobian_reuse < 1) throw std::invalid_argument("TransientEngine: jacobian_reuse >= 1");
+}
+
+void TransientEngine::set_state(Vector x) {
+    if (x.size() != x_.size())
+        throw std::invalid_argument("TransientEngine::set_state: dimension mismatch");
+    x_ = std::move(x);
+}
+
+void TransientEngine::step() {
+    const std::size_t n = x_.size();
+    const double h = opt_.step;
+    const double tn = t_ + h;
+
+    const Vector fx = rhs_(t_, x_);
+    ++stats_.rhs_evaluations;
+
+    // Predictor: explicit Euler.
+    Vector y = x_;
+    y.axpy(h, fx);
+
+    std::optional<num::LuFactor> lu;
+    int iters_since_jacobian = opt_.jacobian_reuse;  // force a build on entry
+
+    bool converged = false;
+    Vector fy = rhs_(tn, y);
+    ++stats_.rhs_evaluations;
+
+    for (int it = 0; it < opt_.max_newton_iters; ++it) {
+        ++stats_.newton_iterations;
+
+        Vector g(n);
+        for (std::size_t i = 0; i < n; ++i) g[i] = y[i] - x_[i] - 0.5 * h * (fx[i] + fy[i]);
+        const double gnorm = g.norm_inf();
+        if (gnorm < opt_.newton_tol * (1.0 + y.norm_inf())) {
+            converged = true;
+            break;
+        }
+
+        if (iters_since_jacobian >= opt_.jacobian_reuse || !lu) {
+            // J = I - h/2 * df/dy by forward differences — the expensive part
+            // (n extra RHS evaluations + one LU) the PWL engine avoids.
+            Matrix jac(n, n);
+            for (std::size_t j = 0; j < n; ++j) {
+                const double dy = opt_.fd_eps * (1.0 + std::fabs(y[j]));
+                Vector yp = y;
+                yp[j] += dy;
+                const Vector fp = rhs_(tn, yp);
+                ++stats_.rhs_evaluations;
+                for (std::size_t i = 0; i < n; ++i) {
+                    jac(i, j) = (i == j ? 1.0 : 0.0) - 0.5 * h * (fp[i] - fy[i]) / dy;
+                }
+            }
+            ++stats_.jacobian_builds;
+            try {
+                lu.emplace(std::move(jac));
+                ++stats_.lu_factorizations;
+            } catch (const std::runtime_error&) {
+                break;  // singular iteration matrix; accept best iterate
+            }
+            iters_since_jacobian = 0;
+        }
+        ++iters_since_jacobian;
+
+        const Vector dx = lu->solve(g);
+
+        // Damped update.
+        double lambda = 1.0;
+        for (int back = 0; back < 6; ++back) {
+            Vector yt = y;
+            yt.axpy(-lambda, dx);
+            Vector ft = rhs_(tn, yt);
+            ++stats_.rhs_evaluations;
+            double gt = 0.0;
+            for (std::size_t i = 0; i < n; ++i)
+                gt = std::max(gt, std::fabs(yt[i] - x_[i] - 0.5 * h * (fx[i] + ft[i])));
+            if (gt < gnorm || back == 5) {
+                y = std::move(yt);
+                fy = std::move(ft);
+                break;
+            }
+            lambda *= 0.5;
+        }
+    }
+
+    if (!converged) ++stats_.nonconverged_steps;
+    x_ = std::move(y);
+    t_ = tn;
+    ++stats_.steps;
+}
+
+void TransientEngine::run(double t_end, const std::function<void(double, const Vector&)>& observer) {
+    while (t_ < t_end - 0.5 * opt_.step) {
+        step();
+        if (observer) observer(t_, x_);
+    }
+}
+
+}  // namespace ehdoe::sim

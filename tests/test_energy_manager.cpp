@@ -1,0 +1,59 @@
+// Brown-out hysteresis supervisor tests.
+#include <gtest/gtest.h>
+
+#include "node/energy_manager.hpp"
+
+using namespace ehdoe::node;
+
+TEST(EnergyManager, BrownOutAndRestart) {
+    EnergyManager em(EnergyManagerParams{}, true);
+    EXPECT_TRUE(em.alive());
+    EXPECT_FALSE(em.observe(2.5));   // healthy, no change
+    EXPECT_TRUE(em.observe(1.5));    // below v_off: dies
+    EXPECT_FALSE(em.alive());
+    EXPECT_EQ(em.brownouts(), 1u);
+    EXPECT_FALSE(em.observe(2.1));   // inside hysteresis band: stays dead
+    EXPECT_FALSE(em.alive());
+    EXPECT_TRUE(em.observe(2.5));    // above v_on: restarts
+    EXPECT_TRUE(em.alive());
+}
+
+TEST(EnergyManager, HysteresisPreventsChatter) {
+    EnergyManagerParams p;
+    p.v_off = 2.0;
+    p.v_on = 2.4;
+    EnergyManager em(p, true);
+    em.observe(1.9);  // dead
+    int transitions = 0;
+    // Oscillate inside the band: no transitions.
+    for (int i = 0; i < 20; ++i) {
+        if (em.observe(2.1 + 0.05 * (i % 3))) ++transitions;
+    }
+    EXPECT_EQ(transitions, 0);
+    EXPECT_FALSE(em.alive());
+}
+
+TEST(EnergyManager, StartsDeadWhenRequested) {
+    EnergyManager em(EnergyManagerParams{}, false);
+    EXPECT_FALSE(em.alive());
+    EXPECT_TRUE(em.observe(3.0));
+    EXPECT_TRUE(em.alive());
+    EXPECT_EQ(em.brownouts(), 0u);
+}
+
+TEST(EnergyManager, CountsRepeatedBrownouts) {
+    EnergyManager em(EnergyManagerParams{}, true);
+    for (int i = 0; i < 3; ++i) {
+        em.observe(1.0);
+        em.observe(3.0);
+    }
+    EXPECT_EQ(em.brownouts(), 3u);
+}
+
+TEST(EnergyManager, Validation) {
+    EnergyManagerParams p;
+    p.v_on = p.v_off;  // must be strictly above
+    EXPECT_THROW(EnergyManager(p, true), std::invalid_argument);
+    p.v_off = -1.0;
+    EXPECT_THROW(EnergyManager(p, true), std::invalid_argument);
+}

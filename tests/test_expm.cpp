@@ -1,0 +1,112 @@
+// Matrix exponential and ZOH discretization tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "numerics/expm.hpp"
+#include "numerics/matrix.hpp"
+
+using namespace ehdoe::num;
+
+TEST(Expm, ZeroMatrixGivesIdentity) {
+    EXPECT_TRUE(approx_equal(expm(Matrix(3, 3)), Matrix::identity(3), 1e-14));
+}
+
+TEST(Expm, DiagonalMatrix) {
+    const Matrix e = expm(Matrix::diag(Vector{1.0, -2.0, 0.5}));
+    EXPECT_NEAR(e(0, 0), std::exp(1.0), 1e-12);
+    EXPECT_NEAR(e(1, 1), std::exp(-2.0), 1e-12);
+    EXPECT_NEAR(e(2, 2), std::exp(0.5), 1e-12);
+    EXPECT_NEAR(e(0, 1), 0.0, 1e-13);
+}
+
+TEST(Expm, NilpotentExact) {
+    // exp([[0,1],[0,0]]) = [[1,1],[0,1]] exactly.
+    Matrix n{{0.0, 1.0}, {0.0, 0.0}};
+    const Matrix e = expm(n);
+    EXPECT_NEAR(e(0, 0), 1.0, 1e-14);
+    EXPECT_NEAR(e(0, 1), 1.0, 1e-14);
+    EXPECT_NEAR(e(1, 0), 0.0, 1e-14);
+    EXPECT_NEAR(e(1, 1), 1.0, 1e-14);
+}
+
+TEST(Expm, RotationMatrix) {
+    // exp([[0,-t],[t,0]]) = rotation by t.
+    const double t = 1.3;
+    Matrix a{{0.0, -t}, {t, 0.0}};
+    const Matrix e = expm(a);
+    EXPECT_NEAR(e(0, 0), std::cos(t), 1e-12);
+    EXPECT_NEAR(e(0, 1), -std::sin(t), 1e-12);
+    EXPECT_NEAR(e(1, 0), std::sin(t), 1e-12);
+}
+
+TEST(Expm, LargeNormViaScaling) {
+    Matrix a{{0.0, -40.0}, {40.0, 0.0}};
+    const Matrix e = expm(a);
+    EXPECT_NEAR(e(0, 0), std::cos(40.0), 1e-9);
+    EXPECT_NEAR(e(1, 0), std::sin(40.0), 1e-9);
+}
+
+TEST(Expm, GroupProperty) {
+    Matrix a{{0.1, 0.3}, {-0.2, 0.4}};
+    const Matrix e1 = expm(a);
+    const Matrix ehalf = expm(a * 0.5);
+    EXPECT_TRUE(approx_equal(ehalf * ehalf, e1, 1e-12));
+}
+
+TEST(Expm, NonSquareThrows) { EXPECT_THROW(expm(Matrix(2, 3)), std::invalid_argument); }
+
+TEST(DiscretizeZoh, MatchesAnalyticRc) {
+    // RC circuit: v' = -(1/RC) v + (1/RC) u. Exact: vd = e^{-h/RC},
+    // bd = 1 - e^{-h/RC}.
+    const double tau = 1e-3;
+    Matrix a{{-1.0 / tau}};
+    Matrix b{{1.0 / tau}};
+    const double h = 0.4e-3;
+    const Discretized d = discretize_zoh(a, b, h);
+    EXPECT_NEAR(d.ad(0, 0), std::exp(-h / tau), 1e-12);
+    EXPECT_NEAR(d.bd(0, 0), 1.0 - std::exp(-h / tau), 1e-12);
+}
+
+TEST(DiscretizeZoh, SingularAHandled) {
+    // Pure integrator: x' = u. Ad = 1, Bd = h.
+    Matrix a{{0.0}};
+    Matrix b{{1.0}};
+    const Discretized d = discretize_zoh(a, b, 0.25);
+    EXPECT_NEAR(d.ad(0, 0), 1.0, 1e-14);
+    EXPECT_NEAR(d.bd(0, 0), 0.25, 1e-14);
+}
+
+TEST(DiscretizeZoh, DoubleIntegrator) {
+    // x1' = x2, x2' = u: Ad = [[1,h],[0,1]], Bd = [h^2/2, h].
+    Matrix a{{0.0, 1.0}, {0.0, 0.0}};
+    Matrix b(2, 1);
+    b(1, 0) = 1.0;
+    const double h = 0.1;
+    const Discretized d = discretize_zoh(a, b, h);
+    EXPECT_NEAR(d.ad(0, 1), h, 1e-14);
+    EXPECT_NEAR(d.bd(0, 0), 0.5 * h * h, 1e-14);
+    EXPECT_NEAR(d.bd(1, 0), h, 1e-14);
+}
+
+// Property: stepping a stable 2nd-order system with the ZOH pair converges to
+// the DC gain for constant input.
+class ZohStepP : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZohStepP, ConvergesToDcGain) {
+    const double h = GetParam();
+    const double wn = 50.0, zeta = 0.3;
+    Matrix a{{0.0, 1.0}, {-wn * wn, -2.0 * zeta * wn}};
+    Matrix b(2, 1);
+    b(1, 0) = wn * wn;  // DC gain 1
+    const Discretized d = discretize_zoh(a, b, h);
+    Vector x(2);
+    Vector u{1.0};
+    for (int i = 0; i < 20000; ++i) {
+        x = d.ad * x + d.bd * u;
+    }
+    EXPECT_NEAR(x[0], 1.0, 1e-6);
+    EXPECT_NEAR(x[1], 0.0, 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Steps, ZohStepP, ::testing::Values(1e-4, 5e-4, 2e-3, 1e-2));

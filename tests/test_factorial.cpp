@@ -1,0 +1,125 @@
+// Factorial / fractional / Plackett-Burman design tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "doe/factorial.hpp"
+
+using namespace ehdoe::doe;
+using ehdoe::num::Matrix;
+
+TEST(FullFactorial, TwoLevelEnumeratesAllCorners) {
+    const Design d = full_factorial_2level(3);
+    EXPECT_EQ(d.runs(), 8u);
+    std::set<std::vector<double>> rows;
+    for (std::size_t i = 0; i < d.runs(); ++i) {
+        std::vector<double> r;
+        for (std::size_t j = 0; j < 3; ++j) {
+            EXPECT_NEAR(std::fabs(d.points(i, j)), 1.0, 1e-15);
+            r.push_back(d.points(i, j));
+        }
+        rows.insert(r);
+    }
+    EXPECT_EQ(rows.size(), 8u);  // all distinct
+    EXPECT_THROW(full_factorial_2level(0), std::invalid_argument);
+    EXPECT_THROW(full_factorial_2level(25), std::invalid_argument);
+}
+
+TEST(FullFactorial, ColumnsAreBalancedAndOrthogonal) {
+    const Design d = full_factorial_2level(4);
+    for (std::size_t j = 0; j < 4; ++j) {
+        double sum = 0.0;
+        for (std::size_t i = 0; i < d.runs(); ++i) sum += d.points(i, j);
+        EXPECT_DOUBLE_EQ(sum, 0.0);
+        for (std::size_t j2 = j + 1; j2 < 4; ++j2) {
+            double dotp = 0.0;
+            for (std::size_t i = 0; i < d.runs(); ++i) dotp += d.points(i, j) * d.points(i, j2);
+            EXPECT_DOUBLE_EQ(dotp, 0.0);
+        }
+    }
+}
+
+TEST(FullFactorial, MultiLevelGrid) {
+    const Design d = full_factorial(2, 3);
+    EXPECT_EQ(d.runs(), 9u);
+    std::set<double> levels;
+    for (std::size_t i = 0; i < 9; ++i) levels.insert(d.points(i, 0));
+    EXPECT_EQ(levels.size(), 3u);
+    EXPECT_TRUE(levels.count(-1.0) && levels.count(0.0) && levels.count(1.0));
+    const Design m = full_factorial(std::vector<std::size_t>{2, 3, 4});
+    EXPECT_EQ(m.runs(), 24u);
+    EXPECT_THROW(full_factorial(std::vector<std::size_t>{1}), std::invalid_argument);
+}
+
+TEST(Fractional, HalfFractionResolutionV) {
+    const FractionalFactorial ff = fractional_factorial(5, {"E=ABCD"});
+    EXPECT_EQ(ff.design.runs(), 16u);
+    EXPECT_EQ(ff.design.dimension(), 5u);
+    EXPECT_EQ(ff.resolution, 5u);
+    // Generated column equals the product of its sources in every run.
+    for (std::size_t i = 0; i < 16; ++i) {
+        const double prod = ff.design.points(i, 0) * ff.design.points(i, 1) *
+                            ff.design.points(i, 2) * ff.design.points(i, 3);
+        EXPECT_DOUBLE_EQ(ff.design.points(i, 4), prod);
+    }
+}
+
+TEST(Fractional, QuarterFractionResolution) {
+    // 2^(6-2) with the standard generators E=ABC, F=BCD -> resolution IV.
+    const FractionalFactorial ff = fractional_factorial(6, {"E=ABC", "F=BCD"});
+    EXPECT_EQ(ff.design.runs(), 16u);
+    EXPECT_EQ(ff.resolution, 4u);
+    EXPECT_EQ(ff.defining_words.size(), 3u);  // 2^p - 1
+}
+
+TEST(Fractional, RejectsBadGenerators) {
+    EXPECT_THROW(fractional_factorial(5, {"EABCD"}), std::invalid_argument);
+    EXPECT_THROW(fractional_factorial(5, {"A=BC"}), std::invalid_argument);   // target is base
+    EXPECT_THROW(fractional_factorial(5, {"E=XY"}), std::invalid_argument);   // beyond base
+    EXPECT_THROW(fractional_factorial(5, {"E=ABCD", "E=AB"}), std::invalid_argument);
+    EXPECT_THROW(fractional_factorial(3, {"C=AA"}), std::invalid_argument);   // empty word
+}
+
+TEST(Hadamard, OrthogonalityAcrossOrders) {
+    for (std::size_t n : {1u, 2u, 4u, 8u, 12u, 16u, 20u, 24u, 32u}) {
+        const Matrix h = hadamard(n);
+        const Matrix hht = h * h.transposed();
+        for (std::size_t i = 0; i < n; ++i) {
+            for (std::size_t j = 0; j < n; ++j) {
+                EXPECT_NEAR(hht(i, j), i == j ? static_cast<double>(n) : 0.0, 1e-9)
+                    << "n=" << n;
+            }
+        }
+    }
+    EXPECT_THROW(hadamard(6), std::invalid_argument);
+    EXPECT_THROW(hadamard(0), std::invalid_argument);
+}
+
+TEST(PlackettBurman, ColumnsBalancedAndOrthogonal) {
+    const Design d = plackett_burman(10);  // 12-run PB
+    EXPECT_EQ(d.runs(), 12u);
+    EXPECT_EQ(d.dimension(), 10u);
+    for (std::size_t j = 0; j < 10; ++j) {
+        double sum = 0.0;
+        for (std::size_t i = 0; i < 12; ++i) sum += d.points(i, j);
+        EXPECT_DOUBLE_EQ(sum, 0.0);
+        for (std::size_t j2 = j + 1; j2 < 10; ++j2) {
+            double dotp = 0.0;
+            for (std::size_t i = 0; i < 12; ++i) dotp += d.points(i, j) * d.points(i, j2);
+            EXPECT_DOUBLE_EQ(dotp, 0.0);
+        }
+    }
+}
+
+class PbSizeP : public ::testing::TestWithParam<int> {};
+
+TEST_P(PbSizeP, RunCountIsSmallMultipleOf4AboveK) {
+    const auto k = static_cast<std::size_t>(GetParam());
+    const Design d = plackett_burman(k);
+    EXPECT_GT(d.runs(), k);
+    EXPECT_EQ(d.runs() % 4, 0u);
+    EXPECT_LE(d.runs(), k + 13);  // never wasteful by more than one block
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, PbSizeP, ::testing::Values(3, 5, 7, 9, 11, 15, 19, 23));

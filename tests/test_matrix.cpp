@@ -1,0 +1,155 @@
+// Unit tests for the dense Vector / Matrix layer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "numerics/matrix.hpp"
+
+using namespace ehdoe::num;
+
+TEST(Vector, ConstructionAndAccess) {
+    Vector v(3);
+    EXPECT_EQ(v.size(), 3u);
+    EXPECT_DOUBLE_EQ(v[0], 0.0);
+    Vector w{1.0, 2.0, 3.0};
+    EXPECT_DOUBLE_EQ(w[2], 3.0);
+    EXPECT_THROW(w.at(3), std::out_of_range);
+}
+
+TEST(Vector, Arithmetic) {
+    Vector a{1.0, 2.0, 3.0};
+    Vector b{4.0, 5.0, 6.0};
+    Vector c = a + b;
+    EXPECT_DOUBLE_EQ(c[0], 5.0);
+    EXPECT_DOUBLE_EQ(c[2], 9.0);
+    c -= a;
+    EXPECT_TRUE(approx_equal(c, b, 1e-15));
+    EXPECT_DOUBLE_EQ((2.0 * a)[1], 4.0);
+    EXPECT_DOUBLE_EQ((a / 2.0)[0], 0.5);
+    EXPECT_DOUBLE_EQ((-a)[2], -3.0);
+}
+
+TEST(Vector, ShapeMismatchThrows) {
+    Vector a{1.0, 2.0};
+    Vector b{1.0, 2.0, 3.0};
+    EXPECT_THROW(a += b, std::invalid_argument);
+    EXPECT_THROW(dot(a, b), std::invalid_argument);
+}
+
+TEST(Vector, NormsAndDot) {
+    Vector v{3.0, 4.0};
+    EXPECT_DOUBLE_EQ(v.norm(), 5.0);
+    EXPECT_DOUBLE_EQ(v.norm_inf(), 4.0);
+    EXPECT_DOUBLE_EQ(v.sum(), 7.0);
+    EXPECT_DOUBLE_EQ(dot(v, v), 25.0);
+    EXPECT_DOUBLE_EQ(Vector{}.norm_inf(), 0.0);
+}
+
+TEST(Vector, NormAvoidsOverflow) {
+    Vector v{1e200, 1e200};
+    EXPECT_TRUE(std::isfinite(v.norm()));
+    EXPECT_NEAR(v.norm(), 1e200 * std::sqrt(2.0), 1e188);
+}
+
+TEST(Vector, Axpy) {
+    Vector y{1.0, 1.0};
+    Vector x{2.0, 3.0};
+    y.axpy(2.0, x);
+    EXPECT_DOUBLE_EQ(y[0], 5.0);
+    EXPECT_DOUBLE_EQ(y[1], 7.0);
+}
+
+TEST(Matrix, ConstructionIdentityDiag) {
+    Matrix i3 = Matrix::identity(3);
+    EXPECT_TRUE(i3.square());
+    EXPECT_DOUBLE_EQ(i3(1, 1), 1.0);
+    EXPECT_DOUBLE_EQ(i3(0, 1), 0.0);
+    Matrix d = Matrix::diag(Vector{2.0, 3.0});
+    EXPECT_DOUBLE_EQ(d(0, 0), 2.0);
+    EXPECT_DOUBLE_EQ(d(1, 1), 3.0);
+    EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), std::invalid_argument);
+}
+
+TEST(Matrix, MultiplyKnown) {
+    Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+    Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+    Matrix c = a * b;
+    EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+    EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+    EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+    EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, MatVec) {
+    Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+    Vector x{1.0, 1.0};
+    Vector y = a * x;
+    EXPECT_DOUBLE_EQ(y[0], 3.0);
+    EXPECT_DOUBLE_EQ(y[1], 7.0);
+    EXPECT_THROW(a * Vector{1.0}, std::invalid_argument);
+}
+
+TEST(Matrix, TransposeAndAtB) {
+    Matrix a{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+    Matrix at = a.transposed();
+    EXPECT_EQ(at.rows(), 3u);
+    EXPECT_DOUBLE_EQ(at(2, 1), 6.0);
+    // a^T a two ways.
+    Matrix direct = at * a;
+    Matrix fused = mul_at_b(a, a);
+    EXPECT_TRUE(approx_equal(direct, fused, 1e-14));
+    Vector x{1.0, -1.0};
+    EXPECT_TRUE(approx_equal(mul_at_x(a, x), at * x, 1e-14));
+}
+
+TEST(Matrix, RowColOps) {
+    Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+    EXPECT_TRUE(approx_equal(m.row(1), Vector{3.0, 4.0}, 0.0));
+    EXPECT_TRUE(approx_equal(m.col(0), Vector{1.0, 3.0}, 0.0));
+    m.set_row(0, Vector{9.0, 8.0});
+    EXPECT_DOUBLE_EQ(m(0, 1), 8.0);
+    m.set_col(1, Vector{7.0, 6.0});
+    EXPECT_DOUBLE_EQ(m(1, 1), 6.0);
+    m.swap_rows(0, 1);
+    EXPECT_DOUBLE_EQ(m(0, 0), 3.0);
+}
+
+TEST(Matrix, Norms) {
+    Matrix m{{1.0, -2.0}, {3.0, 4.0}};
+    EXPECT_DOUBLE_EQ(m.norm_inf(), 7.0);       // max row sum of abs
+    EXPECT_DOUBLE_EQ(m.max_abs(), 4.0);
+    EXPECT_NEAR(m.norm_fro(), std::sqrt(30.0), 1e-14);
+}
+
+TEST(Matrix, StreamOutput) {
+    std::ostringstream os;
+    os << Matrix{{1.0, 2.0}};
+    EXPECT_NE(os.str().find("1"), std::string::npos);
+    std::ostringstream ov;
+    ov << Vector{1.0, 2.0};
+    EXPECT_EQ(ov.str(), "[1, 2]");
+}
+
+// Property sweep: (A B)^T == B^T A^T for random shapes.
+class MatrixShapeP : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(MatrixShapeP, TransposeOfProduct) {
+    const auto [r, c] = GetParam();
+    Matrix a(static_cast<std::size_t>(r), static_cast<std::size_t>(c));
+    Matrix b(static_cast<std::size_t>(c), static_cast<std::size_t>(r));
+    // Deterministic fill.
+    for (std::size_t i = 0; i < a.rows(); ++i)
+        for (std::size_t j = 0; j < a.cols(); ++j) a(i, j) = std::sin(1.0 + 3.0 * i + 7.0 * j);
+    for (std::size_t i = 0; i < b.rows(); ++i)
+        for (std::size_t j = 0; j < b.cols(); ++j) b(i, j) = std::cos(2.0 + 5.0 * i + j);
+    const Matrix lhs = (a * b).transposed();
+    const Matrix rhs = b.transposed() * a.transposed();
+    EXPECT_TRUE(approx_equal(lhs, rhs, 1e-12));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, MatrixShapeP,
+                         ::testing::Values(std::pair{1, 1}, std::pair{2, 3}, std::pair{3, 2},
+                                           std::pair{5, 5}, std::pair{7, 4}, std::pair{1, 9},
+                                           std::pair{9, 1}, std::pair{12, 12}));

@@ -1,0 +1,95 @@
+// Newton-Raphson solver tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "numerics/newton.hpp"
+
+using namespace ehdoe::num;
+
+TEST(Newton, ScalarQuadratic) {
+    // x^2 - 4 = 0 from x0 = 3.
+    const NonlinearSystem f = [](const Vector& x) { return Vector{x[0] * x[0] - 4.0}; };
+    const NewtonResult r = newton_solve(f, Vector{3.0});
+    EXPECT_TRUE(r.converged);
+    EXPECT_NEAR(r.x[0], 2.0, 1e-9);
+}
+
+TEST(Newton, CoupledSystem) {
+    // x^2 + y^2 = 1, y = x  ->  x = y = 1/sqrt(2).
+    const NonlinearSystem f = [](const Vector& v) {
+        return Vector{v[0] * v[0] + v[1] * v[1] - 1.0, v[1] - v[0]};
+    };
+    const NewtonResult r = newton_solve(f, Vector{0.8, 0.2});
+    EXPECT_TRUE(r.converged);
+    EXPECT_NEAR(r.x[0], 1.0 / std::sqrt(2.0), 1e-9);
+    EXPECT_NEAR(r.x[1], r.x[0], 1e-10);
+}
+
+TEST(Newton, AnalyticJacobianFewerEvals) {
+    const NonlinearSystem f = [](const Vector& x) {
+        return Vector{std::exp(x[0]) - 2.0};
+    };
+    const JacobianFn jac = [](const Vector& x) {
+        Matrix j(1, 1);
+        j(0, 0) = std::exp(x[0]);
+        return j;
+    };
+    const NewtonResult with_j = newton_solve(f, jac, Vector{0.0});
+    const NewtonResult without = newton_solve(f, Vector{0.0});
+    EXPECT_TRUE(with_j.converged);
+    EXPECT_TRUE(without.converged);
+    EXPECT_NEAR(with_j.x[0], std::log(2.0), 1e-10);
+    EXPECT_LT(with_j.function_evaluations, without.function_evaluations);
+}
+
+TEST(Newton, DampingHandlesOvershoot) {
+    // atan has a tiny convergence basin for plain Newton; damping fixes it.
+    const NonlinearSystem f = [](const Vector& x) { return Vector{std::atan(x[0])}; };
+    const NewtonResult r = newton_solve(f, Vector{3.0});
+    EXPECT_TRUE(r.converged);
+    EXPECT_NEAR(r.x[0], 0.0, 1e-8);
+}
+
+TEST(Newton, ReportsNonConvergence) {
+    // No real root: x^2 + 1 = 0.
+    const NonlinearSystem f = [](const Vector& x) { return Vector{x[0] * x[0] + 1.0}; };
+    NewtonOptions opt;
+    opt.max_iterations = 15;
+    const NewtonResult r = newton_solve(f, Vector{1.0}, opt);
+    EXPECT_FALSE(r.converged);
+}
+
+TEST(NewtonBisect, FindsBracketedRoot) {
+    const double root =
+        newton_bisect_scalar([](double x) { return x * x * x - 2.0; }, 0.0, 2.0);
+    EXPECT_NEAR(root, std::cbrt(2.0), 1e-9);
+}
+
+TEST(NewtonBisect, EndpointRoots) {
+    EXPECT_DOUBLE_EQ(newton_bisect_scalar([](double x) { return x; }, 0.0, 1.0), 0.0);
+    EXPECT_DOUBLE_EQ(newton_bisect_scalar([](double x) { return x - 1.0; }, 0.0, 1.0), 1.0);
+}
+
+TEST(NewtonBisect, RejectsNonBracketing) {
+    EXPECT_THROW(newton_bisect_scalar([](double x) { return x * x + 1.0; }, -1.0, 1.0),
+                 std::invalid_argument);
+}
+
+// Property sweep: solve exp(a x) = b across parameters.
+class NewtonParamP : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(NewtonParamP, ExponentialEquation) {
+    const auto [a, b] = GetParam();
+    const NonlinearSystem f = [a, b](const Vector& x) {
+        return Vector{std::exp(a * x[0]) - b};
+    };
+    const NewtonResult r = newton_solve(f, Vector{0.1});
+    EXPECT_TRUE(r.converged);
+    EXPECT_NEAR(r.x[0], std::log(b) / a, 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, NewtonParamP,
+                         ::testing::Values(std::pair{1.0, 2.0}, std::pair{2.0, 5.0},
+                                           std::pair{0.5, 1.5}, std::pair{3.0, 10.0},
+                                           std::pair{1.0, 0.25}));

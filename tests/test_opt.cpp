@@ -1,0 +1,183 @@
+// Optimizer suite tests: local searches and global heuristics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "opt/anneal.hpp"
+#include "opt/genetic.hpp"
+#include "opt/gradient.hpp"
+#include "opt/nelder_mead.hpp"
+#include "opt/pattern.hpp"
+
+using namespace ehdoe::opt;
+using ehdoe::num::Vector;
+
+namespace {
+
+// Smooth bowl, minimum at (0.3, -0.4), value 1.
+double bowl(const Vector& x) {
+    return 1.0 + (x[0] - 0.3) * (x[0] - 0.3) + 2.0 * (x[1] + 0.4) * (x[1] + 0.4);
+}
+
+// Rastrigin-lite: multimodal with global minimum at origin.
+double multimodal(const Vector& x) {
+    double v = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        v += x[i] * x[i] - 0.3 * std::cos(6.0 * M_PI * x[i]) + 0.3;
+    }
+    return v;
+}
+
+const Bounds kCube2 = Bounds::coded_cube(2);
+
+}  // namespace
+
+TEST(Bounds, Basics) {
+    EXPECT_EQ(kCube2.dimension(), 2u);
+    EXPECT_TRUE(kCube2.contains(Vector{0.5, -0.5}));
+    EXPECT_FALSE(kCube2.contains(Vector{1.5, 0.0}));
+    EXPECT_DOUBLE_EQ(kCube2.clamp(Vector{2.0, -3.0})[0], 1.0);
+    Bounds bad;
+    bad.lo = Vector{0.0};
+    bad.hi = Vector{0.0};
+    EXPECT_THROW(bad.validate(), std::invalid_argument);
+}
+
+TEST(NelderMead, FindsBowlMinimum) {
+    const OptResult r = nelder_mead(bowl, kCube2, Vector{0.9, 0.9});
+    EXPECT_TRUE(r.converged);
+    EXPECT_NEAR(r.x[0], 0.3, 1e-4);
+    EXPECT_NEAR(r.x[1], -0.4, 1e-4);
+    EXPECT_NEAR(r.value, 1.0, 1e-7);
+    EXPECT_GT(r.evaluations, 0u);
+}
+
+TEST(NelderMead, RespectsBoundsWhenMinimumOutside) {
+    // Shift the bowl minimum outside the cube: solution lands on the face.
+    const Objective f = [](const Vector& x) {
+        return (x[0] - 2.0) * (x[0] - 2.0) + x[1] * x[1];
+    };
+    const OptResult r = nelder_mead(f, kCube2, Vector{0.0, 0.0});
+    EXPECT_NEAR(r.x[0], 1.0, 1e-5);
+    EXPECT_NEAR(r.x[1], 0.0, 1e-4);
+}
+
+TEST(GradientDescent, AnalyticGradient) {
+    const GradientFn grad = [](const Vector& x) {
+        return Vector{2.0 * (x[0] - 0.3), 4.0 * (x[1] + 0.4)};
+    };
+    const OptResult r = gradient_descent(bowl, grad, kCube2, Vector{-0.8, 0.8});
+    EXPECT_NEAR(r.x[0], 0.3, 1e-5);
+    EXPECT_NEAR(r.x[1], -0.4, 1e-5);
+}
+
+TEST(GradientDescent, NumericGradient) {
+    const OptResult r = gradient_descent(bowl, kCube2, Vector{-0.8, 0.8});
+    EXPECT_NEAR(r.x[0], 0.3, 1e-4);
+    EXPECT_NEAR(r.value, 1.0, 1e-6);
+}
+
+TEST(PatternSearch, FindsBowlMinimum) {
+    const OptResult r = pattern_search(bowl, kCube2, Vector{0.9, -0.9});
+    EXPECT_TRUE(r.converged);
+    EXPECT_NEAR(r.x[0], 0.3, 1e-4);
+    EXPECT_NEAR(r.x[1], -0.4, 1e-4);
+}
+
+TEST(Genetic, FindsGlobalOnMultimodal) {
+    GeneticOptions o;
+    o.population = 60;
+    o.generations = 80;
+    o.seed = 9;
+    const OptResult r = genetic_minimize(multimodal, kCube2, o);
+    EXPECT_NEAR(r.x[0], 0.0, 0.05);
+    EXPECT_NEAR(r.x[1], 0.0, 0.05);
+    EXPECT_LT(r.value, 0.05);
+}
+
+TEST(Genetic, EvaluationBudgetAccounted) {
+    GeneticOptions o;
+    o.population = 20;
+    o.generations = 10;
+    const OptResult r = genetic_minimize(bowl, kCube2, o);
+    // Initial pop + (pop - elites) per generation.
+    EXPECT_EQ(r.evaluations, 20u + 10u * (20u - o.elites));
+}
+
+TEST(Genetic, StallStopsEarly) {
+    GeneticOptions o;
+    o.generations = 500;
+    o.stall_generations = 5;
+    o.seed = 4;
+    const OptResult r = genetic_minimize(bowl, kCube2, o);
+    EXPECT_LT(r.iterations, 500u);
+    EXPECT_TRUE(r.converged);
+}
+
+TEST(Genetic, Validation) {
+    GeneticOptions o;
+    o.population = 2;
+    EXPECT_THROW(genetic_minimize(bowl, kCube2, o), std::invalid_argument);
+    o = GeneticOptions{};
+    o.elites = o.population;
+    EXPECT_THROW(genetic_minimize(bowl, kCube2, o), std::invalid_argument);
+}
+
+TEST(Anneal, FindsGlobalOnMultimodal) {
+    AnnealOptions o;
+    o.seed = 21;
+    o.moves_per_epoch = 60;
+    const OptResult r = simulated_annealing(multimodal, kCube2, Vector{0.8, -0.8}, o);
+    EXPECT_LT(r.value, 0.1);
+}
+
+TEST(Anneal, Validation) {
+    AnnealOptions o;
+    o.t_final = 2.0;  // above t_initial
+    EXPECT_THROW(simulated_annealing(bowl, kCube2, Vector{0.0, 0.0}, o),
+                 std::invalid_argument);
+    o = AnnealOptions{};
+    o.cooling = 1.5;
+    EXPECT_THROW(simulated_annealing(bowl, kCube2, Vector{0.0, 0.0}, o),
+                 std::invalid_argument);
+}
+
+TEST(MultiStart, PicksBestOfStarts) {
+    ehdoe::num::Matrix starts{{-0.9, -0.9}, {0.9, 0.9}, {0.0, 0.0}};
+    const auto optimizer = [&](const Vector& x0) {
+        return nelder_mead(multimodal, kCube2, x0);
+    };
+    const OptResult r = multi_start(optimizer, starts);
+    EXPECT_LT(r.value, 0.05);
+    EXPECT_GT(r.evaluations, 0u);
+}
+
+TEST(Negated, TurnsMaximizationIntoMinimization) {
+    const Objective f = [](const Vector& x) { return -(x[0] - 0.5) * (x[0] - 0.5); };
+    const OptResult r = nelder_mead(negated(f), Bounds::coded_cube(1), Vector{0.0});
+    EXPECT_NEAR(r.x[0], 0.5, 1e-4);
+}
+
+// Property: every local optimizer solves a rotated quadratic from any corner.
+class LocalOptP : public ::testing::TestWithParam<int> {};
+
+TEST_P(LocalOptP, RotatedQuadraticFromCorners) {
+    const Objective f = [](const Vector& x) {
+        const double u = 0.8 * x[0] + 0.6 * x[1] - 0.2;
+        const double v = -0.6 * x[0] + 0.8 * x[1] + 0.1;
+        return u * u + 3.0 * v * v;
+    };
+    for (double cx : {-0.9, 0.9}) {
+        for (double cy : {-0.9, 0.9}) {
+            OptResult r;
+            switch (GetParam()) {
+                case 0: r = nelder_mead(f, kCube2, Vector{cx, cy}); break;
+                case 1: r = pattern_search(f, kCube2, Vector{cx, cy}); break;
+                default: r = gradient_descent(f, kCube2, Vector{cx, cy}); break;
+            }
+            EXPECT_LT(r.value, 1e-5);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, LocalOptP, ::testing::Values(0, 1, 2));

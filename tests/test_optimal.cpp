@@ -1,0 +1,62 @@
+// D-optimal exchange tests.
+#include <gtest/gtest.h>
+
+#include "doe/lhs.hpp"
+#include "doe/optimal.hpp"
+
+using namespace ehdoe::doe;
+using ehdoe::num::linear_basis;
+using ehdoe::num::quadratic_basis;
+
+TEST(DOptimal, LinearModelPicksCorners) {
+    // For a first-order model the D-optimal design lives at the cube
+    // corners; with runs == terms the chosen points must all be corners.
+    const auto terms = linear_basis(2);
+    const DOptimalResult r = d_optimal(4, 2, terms, 42u);
+    for (std::size_t i = 0; i < r.design.runs(); ++i) {
+        for (std::size_t j = 0; j < 2; ++j) {
+            EXPECT_NEAR(std::abs(r.design.points(i, j)), 1.0, 1e-12);
+        }
+    }
+    EXPECT_GT(r.log_det, -1e300);
+}
+
+TEST(DOptimal, BeatsRandomDesign) {
+    const auto terms = quadratic_basis(3);
+    const std::size_t runs = 14;
+    const DOptimalResult r = d_optimal(runs, 3, terms, 7u);
+    const Design rand_d = latin_hypercube(runs, 3, 7);
+    EXPECT_GT(r.log_det, log_det_information(rand_d, terms) + 1.0);
+}
+
+TEST(DOptimal, SupportsRequestedModel) {
+    const auto terms = quadratic_basis(2);
+    const DOptimalResult r = d_optimal(8, 2, terms, 3u);
+    // Non-singular information matrix == finite log det.
+    EXPECT_TRUE(std::isfinite(r.log_det));
+    EXPECT_EQ(r.design.runs(), 8u);
+}
+
+TEST(DOptimal, Validation) {
+    const auto terms = quadratic_basis(2);
+    ehdoe::num::Rng rng = ehdoe::num::make_rng(1);
+    EXPECT_THROW(d_optimal(3, 2, terms, rng), std::invalid_argument);  // runs < terms
+    EXPECT_THROW(d_optimal(8, 0, terms, rng), std::invalid_argument);
+    DOptimalOptions o;
+    o.grid_levels = 1;
+    EXPECT_THROW(d_optimal(8, 2, terms, rng, o), std::invalid_argument);
+}
+
+TEST(DOptimal, LogDetSingularIsMinusInf) {
+    Design d;
+    d.points = ehdoe::num::Matrix(6, 2);  // all-zero rows: singular for quadratics
+    EXPECT_EQ(log_det_information(d, quadratic_basis(2)),
+              -std::numeric_limits<double>::infinity());
+}
+
+TEST(DOptimal, DeterministicFromSeed) {
+    const auto terms = linear_basis(3);
+    const DOptimalResult a = d_optimal(6, 3, terms, 11u);
+    const DOptimalResult b = d_optimal(6, 3, terms, 11u);
+    EXPECT_TRUE(ehdoe::num::approx_equal(a.design.points, b.design.points, 0.0));
+}

@@ -1,0 +1,86 @@
+// Node power-model tests.
+#include <gtest/gtest.h>
+
+#include "node/power_model.hpp"
+
+using namespace ehdoe::node;
+
+TEST(PowerModel, StateCurrents) {
+    NodePowerParams p;
+    EXPECT_DOUBLE_EQ(p.current(NodeState::Off), 0.0);
+    EXPECT_DOUBLE_EQ(p.current(NodeState::Sleep), p.i_sleep);
+    EXPECT_DOUBLE_EQ(p.current(NodeState::Transmit), p.i_tx);
+    EXPECT_DOUBLE_EQ(p.rail_power(NodeState::Transmit), p.supply_voltage * p.i_tx);
+}
+
+TEST(PowerModel, StoragePowerIncludesRegulatorLoss) {
+    NodePowerParams p;
+    EXPECT_NEAR(p.storage_power(NodeState::Idle),
+                p.rail_power(NodeState::Idle) / p.regulator_efficiency, 1e-15);
+    EXPECT_DOUBLE_EQ(p.storage_power(NodeState::Off), 0.0);
+}
+
+TEST(PowerModel, TxTimeScalesWithPayload) {
+    NodePowerParams p;
+    const double t64 = p.tx_time(64);
+    const double t128 = p.tx_time(128);
+    EXPECT_GT(t128, t64);
+    // Exactly 8 bits per byte at the configured bitrate.
+    EXPECT_NEAR(t128 - t64, 64.0 * 8.0 / p.radio_bitrate, 1e-15);
+}
+
+TEST(PowerModel, TaskEnergyDecomposition) {
+    NodePowerParams p;
+    const double e = p.task_energy(64);
+    const double expected = p.storage_power(NodeState::Idle) * p.t_wakeup +
+                            p.storage_power(NodeState::Sense) * p.t_sense +
+                            p.storage_power(NodeState::Process) * p.t_process +
+                            p.storage_power(NodeState::Transmit) * p.tx_time(64) +
+                            p.storage_power(NodeState::Receive) * p.t_rx;
+    EXPECT_NEAR(e, expected, 1e-15);
+    EXPECT_GT(p.task_energy(256), p.task_energy(16));
+}
+
+TEST(PowerModel, TaskDurationSumsPhases) {
+    NodePowerParams p;
+    EXPECT_NEAR(p.task_duration(64),
+                p.t_wakeup + p.t_sense + p.t_process + p.tx_time(64) + p.t_rx, 1e-15);
+}
+
+TEST(PowerModel, FreqCheckEnergy) {
+    NodePowerParams p;
+    EXPECT_NEAR(p.freq_check_energy(),
+                p.storage_power(NodeState::FreqCheck) * p.t_freq_check, 1e-15);
+}
+
+TEST(PowerModel, RealisticMagnitudes) {
+    // Guard against unit mistakes: sleep is microwatts, TX tens of mW.
+    NodePowerParams p;
+    EXPECT_LT(p.storage_power(NodeState::Sleep), 20e-6);
+    EXPECT_GT(p.storage_power(NodeState::Transmit), 20e-3);
+    EXPECT_LT(p.task_energy(64), 1e-3);   // < 1 mJ per task
+    EXPECT_GT(p.task_energy(64), 10e-6);  // > 10 uJ per task
+}
+
+TEST(PowerModel, Validation) {
+    NodePowerParams p;
+    p.regulator_efficiency = 0.0;
+    EXPECT_THROW(p.validate(), std::invalid_argument);
+    p = NodePowerParams{};
+    p.i_tx = -1.0;
+    EXPECT_THROW(p.validate(), std::invalid_argument);
+    p = NodePowerParams{};
+    p.radio_bitrate = 0.0;
+    EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+class PayloadP : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PayloadP, EnergyMonotoneInPayload) {
+    NodePowerParams p;
+    const std::size_t payload = GetParam();
+    EXPECT_GT(p.task_energy(payload + 16), p.task_energy(payload));
+    EXPECT_GT(p.task_duration(payload + 16), p.task_duration(payload));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PayloadP, ::testing::Values(16u, 32u, 64u, 128u, 240u));

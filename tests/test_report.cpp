@@ -1,0 +1,54 @@
+// Table / CSV formatting tests.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/report.hpp"
+
+using namespace ehdoe::core;
+
+TEST(Table, AlignedOutput) {
+    Table t("demo");
+    t.headers({"name", "value"});
+    t.row().cell("alpha").cell(1.5, 2);
+    t.row().cell("b").cell(std::size_t{42});
+    std::ostringstream os;
+    t.print(os);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("demo"), std::string::npos);
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    EXPECT_NE(s.find("1.50"), std::string::npos);
+    EXPECT_NE(s.find("42"), std::string::npos);
+}
+
+TEST(Table, CsvEscaping) {
+    Table t;
+    t.headers({"a", "b"});
+    t.row().cell("x,y").cell("q\"q");
+    std::ostringstream os;
+    t.print_csv(os);
+    EXPECT_NE(os.str().find("\"x,y\""), std::string::npos);
+    EXPECT_NE(os.str().find("\"q\"\"q\""), std::string::npos);
+}
+
+TEST(Table, RowOfDoubles) {
+    Table t;
+    t.headers({"a", "b", "c"});
+    t.row({1.0, 2.0, 3.0});
+    EXPECT_EQ(t.rows(), 1u);
+    EXPECT_EQ(t.columns(), 3u);
+}
+
+TEST(Format, DoubleModes) {
+    EXPECT_EQ(format_double(1.5, 2), "1.50");
+    EXPECT_NE(format_double(1.5e-7, 2).find("e"), std::string::npos);
+    EXPECT_NE(format_double(3.2e9, 2).find("e"), std::string::npos);
+    EXPECT_EQ(format_double(0.0, 1), "0.0");
+}
+
+TEST(Format, SecondsUnits) {
+    EXPECT_NE(format_seconds(3.5e-9).find("ns"), std::string::npos);
+    EXPECT_NE(format_seconds(2.0e-5).find("us"), std::string::npos);
+    EXPECT_NE(format_seconds(5.0e-2).find("ms"), std::string::npos);
+    EXPECT_NE(format_seconds(12.0).find(" s"), std::string::npos);
+}

@@ -1,0 +1,118 @@
+// Regression diagnostics tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "doe/lhs.hpp"
+#include "numerics/stats.hpp"
+#include "rsm/diagnostics.hpp"
+
+using namespace ehdoe::rsm;
+using ehdoe::num::Vector;
+
+TEST(Distributions, IncompleteBetaKnownValues) {
+    // I_x(1,1) = x.
+    EXPECT_NEAR(incomplete_beta(1.0, 1.0, 0.3), 0.3, 1e-10);
+    // I_x(2,2) = x^2 (3 - 2x).
+    EXPECT_NEAR(incomplete_beta(2.0, 2.0, 0.4), 0.16 * (3.0 - 0.8), 1e-10);
+    EXPECT_DOUBLE_EQ(incomplete_beta(2.0, 3.0, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(incomplete_beta(2.0, 3.0, 1.0), 1.0);
+    EXPECT_THROW(incomplete_beta(0.0, 1.0, 0.5), std::invalid_argument);
+}
+
+TEST(Distributions, StudentTPValues) {
+    // dof=1 (Cauchy): p(t=1) = 0.5.
+    EXPECT_NEAR(student_t_p_value(1.0, 1.0), 0.5, 1e-9);
+    // Large dof ~ normal: p(1.96) ~ 0.05.
+    EXPECT_NEAR(student_t_p_value(1.96, 1000.0), 0.05, 0.002);
+    EXPECT_NEAR(student_t_p_value(0.0, 10.0), 1.0, 1e-12);
+    EXPECT_GT(student_t_p_value(1.0, 5.0), student_t_p_value(3.0, 5.0));
+}
+
+TEST(Distributions, FPValues) {
+    // F(1, d2) = T(d2)^2: p_F(f) == p_T(sqrt(f)).
+    EXPECT_NEAR(f_distribution_p_value(4.0, 1.0, 20.0), student_t_p_value(2.0, 20.0), 1e-9);
+    EXPECT_DOUBLE_EQ(f_distribution_p_value(0.0, 3.0, 10.0), 1.0);
+    EXPECT_LT(f_distribution_p_value(10.0, 3.0, 30.0), 0.01);
+}
+
+namespace {
+FitResult noisy_fit(double noise, std::uint64_t seed = 17) {
+    ehdoe::num::Rng rng = ehdoe::num::make_rng(seed);
+    const auto d = ehdoe::doe::latin_hypercube(80, 2, 31);
+    std::vector<double> y(d.runs());
+    for (std::size_t i = 0; i < d.runs(); ++i) {
+        const Vector x = d.points.row(i);
+        // Strong x0 effect, no x1 effect.
+        y[i] = 1.0 + 5.0 * x[0] + ehdoe::num::normal(rng, 0.0, noise);
+    }
+    return fit_ols(ModelSpec(2, ModelOrder::Linear), d.points, y);
+}
+}  // namespace
+
+TEST(Diagnose, SignificantVsInsignificantTerms) {
+    const Diagnostics diag = diagnose(noisy_fit(0.5));
+    // Terms: 1, x0, x1.
+    EXPECT_LT(diag.coefficients[1].p_value, 1e-6);   // real effect
+    EXPECT_GT(diag.coefficients[2].p_value, 0.01);   // pure noise
+    EXPECT_NEAR(diag.coefficients[1].estimate, 5.0, 0.5);
+    EXPECT_GT(diag.coefficients[1].t_value, 10.0);
+}
+
+TEST(Diagnose, AnovaDetectsRegression) {
+    const Diagnostics diag = diagnose(noisy_fit(0.5));
+    EXPECT_LT(diag.anova.p_value, 1e-10);
+    EXPECT_EQ(diag.anova.df_regression, 2u);
+    EXPECT_EQ(diag.anova.df_error, 77u);
+    EXPECT_NEAR(diag.anova.ss_total, diag.anova.ss_regression + diag.anova.ss_error, 1e-9);
+}
+
+TEST(Diagnose, PressExceedsSse) {
+    const FitResult f = noisy_fit(0.5);
+    const Diagnostics diag = diagnose(f);
+    EXPECT_GT(diag.press, f.sse);          // LOO error >= training error
+    EXPECT_LT(diag.press, 3.0 * f.sse);    // but not catastrophically so
+    EXPECT_LT(diag.r_squared_pred, f.r_squared());
+}
+
+TEST(Diagnose, LeverageSumsToP) {
+    const FitResult f = noisy_fit(1.0);
+    const Diagnostics diag = diagnose(f);
+    double sum = 0.0;
+    for (double h : diag.leverage) {
+        EXPECT_GE(h, -1e-12);
+        EXPECT_LE(h, 1.0 + 1e-12);
+        sum += h;
+    }
+    EXPECT_NEAR(sum, static_cast<double>(f.p), 1e-8);
+}
+
+TEST(Diagnose, VifNearOneForOrthogonalDesign) {
+    // LHS columns are near-orthogonal: VIF close to 1.
+    const Diagnostics diag = diagnose(noisy_fit(0.5));
+    EXPECT_LT(diag.vif[1], 1.3);
+    EXPECT_LT(diag.vif[2], 1.3);
+    EXPECT_DOUBLE_EQ(diag.vif[0], 1.0);  // intercept skipped
+}
+
+TEST(Diagnose, DetectsCollinearity) {
+    // x1 duplicated as an extra term via a design where x1 == x0.
+    ehdoe::num::Matrix pts(20, 2);
+    ehdoe::num::Rng rng = ehdoe::num::make_rng(3);
+    for (std::size_t i = 0; i < 20; ++i) {
+        const double v = ehdoe::num::uniform(rng, -1.0, 1.0);
+        pts(i, 0) = v;
+        pts(i, 1) = v;  // perfectly collinear
+    }
+    std::vector<double> y(20);
+    for (std::size_t i = 0; i < 20; ++i) y[i] = pts(i, 0);
+    EXPECT_THROW(fit_ols(ModelSpec(2, ModelOrder::Linear), pts, y), std::runtime_error);
+}
+
+TEST(Diagnose, RequiresResidualDof) {
+    // n == p: no dof for sigma^2.
+    ehdoe::num::Matrix pts{{-1.0, -1.0}, {1.0, -1.0}, {-1.0, 1.0}};
+    std::vector<double> y{1.0, 2.0, 3.0};
+    const FitResult f = fit_ols(ModelSpec(2, ModelOrder::Linear), pts, y);
+    EXPECT_THROW(diagnose(f), std::invalid_argument);
+}

@@ -1,0 +1,138 @@
+// OLS / WLS fit tests: exact polynomial recovery.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "doe/composite.hpp"
+#include "doe/lhs.hpp"
+#include "numerics/stats.hpp"
+#include "rsm/fit.hpp"
+
+using namespace ehdoe::rsm;
+using ehdoe::num::Vector;
+
+namespace {
+
+// Ground-truth quadratic y = 2 + x0 - 3 x1 + 0.5 x0 x1 + 1.5 x0^2.
+double truth(const Vector& x) {
+    return 2.0 + x[0] - 3.0 * x[1] + 0.5 * x[0] * x[1] + 1.5 * x[0] * x[0];
+}
+
+}  // namespace
+
+TEST(Fit, RecoversExactQuadratic) {
+    const auto d = ehdoe::doe::central_composite(2, {});
+    std::vector<double> y(d.runs());
+    for (std::size_t i = 0; i < d.runs(); ++i) y[i] = truth(d.points.row(i));
+    const ModelSpec model(2, ModelOrder::Quadratic);
+    const FitResult f = fit_ols(model, d.points, y);
+    EXPECT_NEAR(f.r_squared(), 1.0, 1e-12);
+    EXPECT_NEAR(f.rmse(), 0.0, 1e-10);
+    // Prediction at an unseen point is exact.
+    EXPECT_NEAR(f.predict(Vector{0.37, -0.81}), truth(Vector{0.37, -0.81}), 1e-10);
+}
+
+TEST(Fit, CoefficientsMatchGroundTruth) {
+    const auto d = ehdoe::doe::central_composite(2, {});
+    std::vector<double> y(d.runs());
+    for (std::size_t i = 0; i < d.runs(); ++i) y[i] = truth(d.points.row(i));
+    const FitResult f = fit_ols(ModelSpec(2, ModelOrder::Quadratic), d.points, y);
+    // Terms: 1, x0, x1, x0x1, x0^2, x1^2 (conventional ordering).
+    const auto& terms = f.model.terms();
+    for (std::size_t t = 0; t < terms.size(); ++t) {
+        double expect = 0.0;
+        const auto& e = terms[t].exponents;
+        if (e == std::vector<unsigned>{0, 0}) expect = 2.0;
+        if (e == std::vector<unsigned>{1, 0}) expect = 1.0;
+        if (e == std::vector<unsigned>{0, 1}) expect = -3.0;
+        if (e == std::vector<unsigned>{1, 1}) expect = 0.5;
+        if (e == std::vector<unsigned>{2, 0}) expect = 1.5;
+        EXPECT_NEAR(f.coefficients[t], expect, 1e-10) << terms[t].to_string();
+    }
+}
+
+TEST(Fit, LinearModelUnderfitsQuadraticData) {
+    const auto d = ehdoe::doe::central_composite(2, {});
+    std::vector<double> y(d.runs());
+    for (std::size_t i = 0; i < d.runs(); ++i) y[i] = truth(d.points.row(i));
+    const FitResult lin = fit_ols(ModelSpec(2, ModelOrder::Linear), d.points, y);
+    EXPECT_LT(lin.r_squared(), 0.99);
+    EXPECT_GT(lin.sse, 0.1);
+}
+
+TEST(Fit, NoiseInflatesSigma2) {
+    ehdoe::num::Rng rng = ehdoe::num::make_rng(5);
+    const auto d = ehdoe::doe::latin_hypercube(60, 2, 9);
+    std::vector<double> y(d.runs());
+    for (std::size_t i = 0; i < d.runs(); ++i) {
+        y[i] = truth(d.points.row(i)) + ehdoe::num::normal(rng, 0.0, 0.2);
+    }
+    const FitResult f = fit_ols(ModelSpec(2, ModelOrder::Quadratic), d.points, y);
+    EXPECT_NEAR(std::sqrt(f.sigma2), 0.2, 0.08);
+    EXPECT_GT(f.r_squared(), 0.9);
+    EXPECT_LT(f.adjusted_r_squared(), f.r_squared() + 1e-15);
+}
+
+TEST(Fit, WlsDownWeightsOutliers) {
+    const auto d = ehdoe::doe::latin_hypercube(30, 2, 21);
+    std::vector<double> y(d.runs());
+    for (std::size_t i = 0; i < d.runs(); ++i) y[i] = truth(d.points.row(i));
+    y[0] += 50.0;  // gross outlier
+    std::vector<double> w(d.runs(), 1.0);
+    w[0] = 1e-6;
+    const FitResult wls = fit_wls(ModelSpec(2, ModelOrder::Quadratic), d.points, y, w);
+    const FitResult ols = fit_ols(ModelSpec(2, ModelOrder::Quadratic), d.points, y);
+    const Vector probe{0.2, 0.2};
+    EXPECT_LT(std::fabs(wls.predict(probe) - truth(probe)),
+              std::fabs(ols.predict(probe) - truth(probe)));
+}
+
+TEST(Fit, Validation) {
+    const ModelSpec model(2, ModelOrder::Quadratic);
+    ehdoe::num::Matrix pts(3, 2);  // fewer runs than 6 terms
+    std::vector<double> y(3, 0.0);
+    EXPECT_THROW(fit_ols(model, pts, y), std::invalid_argument);
+    ehdoe::num::Matrix ok(8, 2);
+    EXPECT_THROW(fit_ols(model, ok, std::vector<double>(5, 0.0)), std::invalid_argument);
+    // Degenerate design (all same point) is rank-deficient.
+    std::vector<double> y8(8, 1.0);
+    EXPECT_THROW(fit_ols(model, ok, y8), std::runtime_error);
+    // Bad weights.
+    const auto d = ehdoe::doe::central_composite(2, {});
+    std::vector<double> yd(d.runs(), 1.0);
+    std::vector<double> w(d.runs(), 1.0);
+    w[0] = 0.0;
+    EXPECT_THROW(fit_wls(model, d.points, yd, w), std::invalid_argument);
+}
+
+TEST(ModelSpec, TermManipulation) {
+    ModelSpec m(2, ModelOrder::Linear);
+    EXPECT_EQ(m.num_terms(), 3u);
+    const ModelSpec less = m.without_term(1);
+    EXPECT_EQ(less.num_terms(), 2u);
+    ehdoe::num::Monomial extra(std::vector<unsigned>{1, 1});
+    const ModelSpec more = m.with_term(extra);
+    EXPECT_EQ(more.num_terms(), 4u);
+    EXPECT_THROW(m.without_term(9), std::out_of_range);
+    EXPECT_NE(m.describe().find("x0"), std::string::npos);
+    EXPECT_EQ(quadratic_term_count(6), 28u);
+}
+
+// Property: fit is exact whenever the model contains the truth across orders.
+class OrderP : public ::testing::TestWithParam<ModelOrder> {};
+
+TEST_P(OrderP, ExactWhenModelContainsTruth) {
+    // Truth is linear: every order from Linear upward reproduces it.
+    const auto d = ehdoe::doe::central_composite(3, {});
+    std::vector<double> y(d.runs());
+    for (std::size_t i = 0; i < d.runs(); ++i) {
+        const Vector x = d.points.row(i);
+        y[i] = 1.0 - 2.0 * x[0] + 0.3 * x[2];
+    }
+    const FitResult f = fit_ols(ModelSpec(3, GetParam()), d.points, y);
+    EXPECT_NEAR(f.rmse(), 0.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, OrderP,
+                         ::testing::Values(ModelOrder::Linear, ModelOrder::Interaction,
+                                           ModelOrder::Quadratic));

@@ -1,0 +1,134 @@
+// ResponseSurface analytic calculus + canonical analysis tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "doe/composite.hpp"
+#include "rsm/surface.hpp"
+
+using namespace ehdoe::rsm;
+using ehdoe::doe::DesignSpace;
+using ehdoe::num::Vector;
+
+namespace {
+
+ResponseSurface make_surface(const std::function<double(const Vector&)>& truth,
+                             std::size_t k = 2) {
+    const auto d = ehdoe::doe::central_composite(k, {});
+    std::vector<double> y(d.runs());
+    for (std::size_t i = 0; i < d.runs(); ++i) y[i] = truth(d.points.row(i));
+    std::vector<ehdoe::doe::Factor> factors;
+    for (std::size_t i = 0; i < k; ++i) {
+        factors.push_back({"f" + std::to_string(i), 0.0, 10.0, false});
+    }
+    DesignSpace space(factors);
+    return ResponseSurface(fit_ols(ModelSpec(k, ModelOrder::Quadratic), d.points, y), space,
+                           "resp");
+}
+
+// Bowl with minimum at (0.5, -0.25).
+double bowl(const Vector& x) {
+    return 3.0 + (x[0] - 0.5) * (x[0] - 0.5) + 2.0 * (x[1] + 0.25) * (x[1] + 0.25);
+}
+
+// Dome with maximum at (0.2, 0.4).
+double dome(const Vector& x) {
+    return 5.0 - 2.0 * (x[0] - 0.2) * (x[0] - 0.2) - (x[1] - 0.4) * (x[1] - 0.4);
+}
+
+double saddle(const Vector& x) { return x[0] * x[0] - x[1] * x[1]; }
+
+}  // namespace
+
+TEST(Surface, GradientAnalytic) {
+    const ResponseSurface s = make_surface(bowl);
+    const Vector x{0.1, 0.3};
+    const Vector g = s.gradient(x);
+    EXPECT_NEAR(g[0], 2.0 * (0.1 - 0.5), 1e-9);
+    EXPECT_NEAR(g[1], 4.0 * (0.3 + 0.25), 1e-9);
+}
+
+TEST(Surface, HessianAnalytic) {
+    const ResponseSurface s = make_surface(bowl);
+    const auto h = s.hessian(Vector{0.0, 0.0});
+    EXPECT_NEAR(h(0, 0), 2.0, 1e-9);
+    EXPECT_NEAR(h(1, 1), 4.0, 1e-9);
+    EXPECT_NEAR(h(0, 1), 0.0, 1e-9);
+}
+
+TEST(Surface, StationaryPointMinimum) {
+    const ResponseSurface s = make_surface(bowl);
+    const auto sp = s.stationary_point();
+    ASSERT_TRUE(sp.has_value());
+    EXPECT_EQ(sp->kind, StationaryKind::Minimum);
+    EXPECT_NEAR(sp->coded[0], 0.5, 1e-8);
+    EXPECT_NEAR(sp->coded[1], -0.25, 1e-8);
+    EXPECT_NEAR(sp->value, 3.0, 1e-8);
+    EXPECT_TRUE(sp->inside_region);
+    EXPECT_GT(sp->eigenvalues[0], 0.0);
+}
+
+TEST(Surface, StationaryPointMaximum) {
+    const auto sp = make_surface(dome).stationary_point();
+    ASSERT_TRUE(sp.has_value());
+    EXPECT_EQ(sp->kind, StationaryKind::Maximum);
+    EXPECT_NEAR(sp->coded[0], 0.2, 1e-8);
+    EXPECT_NEAR(sp->value, 5.0, 1e-8);
+}
+
+TEST(Surface, StationaryPointSaddle) {
+    const auto sp = make_surface(saddle).stationary_point();
+    ASSERT_TRUE(sp.has_value());
+    EXPECT_EQ(sp->kind, StationaryKind::Saddle);
+    EXPECT_LT(sp->eigenvalues[0], 0.0);
+    EXPECT_GT(sp->eigenvalues[1], 0.0);
+}
+
+TEST(Surface, NoStationaryPointForLinearModel) {
+    const auto d = ehdoe::doe::central_composite(2, {});
+    std::vector<double> y(d.runs());
+    for (std::size_t i = 0; i < d.runs(); ++i) y[i] = 1.0 + d.points(i, 0);
+    DesignSpace space({{"a", 0.0, 1.0, false}, {"b", 0.0, 1.0, false}});
+    ResponseSurface s(fit_ols(ModelSpec(2, ModelOrder::Linear), d.points, y), space, "lin");
+    EXPECT_FALSE(s.stationary_point().has_value());
+}
+
+TEST(Surface, NaturalUnitsEvaluation) {
+    const ResponseSurface s = make_surface(bowl);
+    // Natural 5.0 maps to coded 0.0 on [0, 10].
+    EXPECT_NEAR(s.value_natural(Vector{5.0, 5.0}), bowl(Vector{0.0, 0.0}), 1e-8);
+}
+
+TEST(Surface, SliceGrid) {
+    const ResponseSurface s = make_surface(bowl);
+    const auto grid = s.slice(0, 1, Vector{0.0, 0.0}, 5);
+    EXPECT_EQ(grid.rows(), 5u);
+    EXPECT_EQ(grid.cols(), 5u);
+    EXPECT_NEAR(grid(0, 0), bowl(Vector{-1.0, -1.0}), 1e-8);
+    EXPECT_NEAR(grid(4, 4), bowl(Vector{1.0, 1.0}), 1e-8);
+    EXPECT_THROW(s.slice(0, 0, Vector{0.0, 0.0}, 5), std::invalid_argument);
+    EXPECT_THROW(s.slice(0, 1, Vector{0.0, 0.0}, 1), std::invalid_argument);
+}
+
+TEST(Surface, GridBestFindsExtremes) {
+    const ResponseSurface s = make_surface(dome);
+    const auto best = s.grid_best(21, true);
+    EXPECT_NEAR(best.coded[0], 0.2, 0.1);
+    EXPECT_NEAR(best.coded[1], 0.4, 0.1);
+    EXPECT_NEAR(best.value, 5.0, 0.05);
+    const auto worst = s.grid_best(21, false);
+    EXPECT_LT(worst.value, best.value);
+}
+
+TEST(Surface, GradientMatchesFiniteDifference) {
+    const ResponseSurface s = make_surface(dome);
+    const Vector x{0.11, -0.37};
+    const Vector g = s.gradient(x);
+    const double h = 1e-6;
+    for (std::size_t j = 0; j < 2; ++j) {
+        Vector xp = x, xm = x;
+        xp[j] += h;
+        xm[j] -= h;
+        EXPECT_NEAR(g[j], (s.value(xp) - s.value(xm)) / (2.0 * h), 1e-5);
+    }
+}

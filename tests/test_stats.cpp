@@ -1,0 +1,117 @@
+// Statistics helpers and deterministic RNG utilities.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "numerics/stats.hpp"
+
+using namespace ehdoe::num;
+
+TEST(Stats, MeanVarianceStddev) {
+    const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+    EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+    EXPECT_NEAR(variance(xs), 32.0 / 7.0, 1e-12);
+    EXPECT_NEAR(stddev(xs), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Stats, DegenerateInputs) {
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(variance({1.0}), 0.0);
+    EXPECT_THROW(min_of({}), std::invalid_argument);
+    EXPECT_THROW(quantile({}, 0.5), std::invalid_argument);
+}
+
+TEST(Stats, QuantilesAndMedian) {
+    const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(median(xs), 2.5);
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 1.75);
+    EXPECT_THROW(quantile(xs, 1.5), std::invalid_argument);
+}
+
+TEST(Stats, Correlation) {
+    const std::vector<double> a{1.0, 2.0, 3.0, 4.0};
+    const std::vector<double> b{2.0, 4.0, 6.0, 8.0};
+    EXPECT_NEAR(correlation(a, b), 1.0, 1e-12);
+    std::vector<double> c{8.0, 6.0, 4.0, 2.0};
+    EXPECT_NEAR(correlation(a, c), -1.0, 1e-12);
+    EXPECT_DOUBLE_EQ(correlation(a, {1.0, 1.0, 1.0, 1.0}), 0.0);  // constant series
+}
+
+TEST(Stats, RmsAndErrors) {
+    EXPECT_NEAR(rms({3.0, 4.0}), std::sqrt(12.5), 1e-12);
+    EXPECT_DOUBLE_EQ(rms_error({1.0, 2.0}, {1.0, 2.0}), 0.0);
+    EXPECT_NEAR(rms_error({0.0, 0.0}, {3.0, 4.0}), std::sqrt(12.5), 1e-12);
+    EXPECT_DOUBLE_EQ(max_abs_error({1.0, 5.0}, {2.0, 2.0}), 3.0);
+    EXPECT_THROW(rms_error({1.0}, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Stats, Summarize) {
+    const Summary s = summarize({1.0, 3.0, 2.0});
+    EXPECT_EQ(s.n, 3u);
+    EXPECT_DOUBLE_EQ(s.mean, 2.0);
+    EXPECT_DOUBLE_EQ(s.min, 1.0);
+    EXPECT_DOUBLE_EQ(s.max, 3.0);
+    EXPECT_DOUBLE_EQ(s.median, 2.0);
+}
+
+TEST(Rng, DeterministicFromSeed) {
+    Rng a = make_rng(42), b = make_rng(42);
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_DOUBLE_EQ(uniform(a, 0.0, 1.0), uniform(b, 0.0, 1.0));
+    }
+    Rng c = make_rng(43);
+    EXPECT_NE(uniform(a, 0.0, 1.0), uniform(c, 0.0, 1.0));
+}
+
+TEST(Rng, UniformRespectsBounds) {
+    Rng rng = make_rng(1);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = uniform(rng, 2.0, 3.0);
+        EXPECT_GE(u, 2.0);
+        EXPECT_LT(u, 3.0);
+        const int n = uniform_int(rng, -2, 2);
+        EXPECT_GE(n, -2);
+        EXPECT_LE(n, 2);
+    }
+}
+
+TEST(Rng, NormalMomentsRoughlyCorrect) {
+    Rng rng = make_rng(5);
+    std::vector<double> xs(20000);
+    for (auto& x : xs) x = normal(rng, 1.0, 2.0);
+    EXPECT_NEAR(mean(xs), 1.0, 0.05);
+    EXPECT_NEAR(stddev(xs), 2.0, 0.05);
+}
+
+TEST(Rng, PermutationIsPermutation) {
+    Rng rng = make_rng(9);
+    const auto p = permutation(rng, 50);
+    std::vector<bool> seen(50, false);
+    for (std::size_t v : p) {
+        ASSERT_LT(v, 50u);
+        EXPECT_FALSE(seen[v]);
+        seen[v] = true;
+    }
+}
+
+TEST(Histogram, CountsAndClamping) {
+    const Histogram h = histogram({0.1, 0.2, 0.9, -5.0, 5.0}, 2, 0.0, 1.0);
+    EXPECT_EQ(h.counts.size(), 2u);
+    EXPECT_EQ(h.counts[0], 3u);  // 0.1, 0.2 and clamped -5
+    EXPECT_EQ(h.counts[1], 2u);  // 0.9 and clamped 5
+    EXPECT_DOUBLE_EQ(h.bin_width(), 0.5);
+    EXPECT_DOUBLE_EQ(h.bin_center(0), 0.25);
+}
+
+TEST(Histogram, AutoRange) {
+    const Histogram h = histogram({1.0, 2.0, 3.0}, 2);
+    EXPECT_DOUBLE_EQ(h.lo, 1.0);
+    EXPECT_DOUBLE_EQ(h.hi, 3.0);
+    std::size_t total = 0;
+    for (auto c : h.counts) total += c;
+    EXPECT_EQ(total, 3u);
+    EXPECT_THROW(histogram({}, 4), std::invalid_argument);
+    EXPECT_THROW(histogram({1.0}, 0, 0.0, 1.0), std::invalid_argument);
+}

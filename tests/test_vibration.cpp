@@ -1,0 +1,140 @@
+// Vibration source tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <numbers>
+
+#include "harvester/vibration.hpp"
+
+using namespace ehdoe::harvester;
+
+TEST(Sine, WaveformAndRms) {
+    SineVibration s(2.0, 50.0);
+    EXPECT_NEAR(s.acceleration(0.0), 0.0, 1e-12);
+    EXPECT_NEAR(s.acceleration(0.005), 2.0, 1e-12);  // quarter period
+    EXPECT_DOUBLE_EQ(s.dominant_frequency(123.0), 50.0);
+    EXPECT_NEAR(s.rms_amplitude(), 2.0 / std::numbers::sqrt2, 1e-12);
+}
+
+TEST(Sine, Validation) {
+    EXPECT_THROW(SineVibration(-1.0, 50.0), std::invalid_argument);
+    EXPECT_THROW(SineVibration(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(MultiTone, DominantIsLargestAmplitude) {
+    MultiToneVibration m({{0.2, 30.0, 0.0}, {0.9, 60.0, 0.0}, {0.3, 90.0, 0.0}});
+    EXPECT_DOUBLE_EQ(m.dominant_frequency(0.0), 60.0);
+    EXPECT_NEAR(m.rms_amplitude(), std::sqrt((0.04 + 0.81 + 0.09) / 2.0), 1e-12);
+}
+
+TEST(MultiTone, SuperpositionAtTimeZero) {
+    MultiToneVibration m({{1.0, 10.0, std::numbers::pi / 2.0}, {0.5, 20.0, std::numbers::pi / 2.0}});
+    EXPECT_NEAR(m.acceleration(0.0), 1.5, 1e-12);
+    EXPECT_THROW(MultiToneVibration({}), std::invalid_argument);
+}
+
+TEST(Chirp, FrequencyRampsLinearly) {
+    ChirpVibration c(1.0, 40.0, 80.0, 10.0);
+    EXPECT_DOUBLE_EQ(c.dominant_frequency(0.0), 40.0);
+    EXPECT_DOUBLE_EQ(c.dominant_frequency(5.0), 60.0);
+    EXPECT_DOUBLE_EQ(c.dominant_frequency(10.0), 80.0);
+    EXPECT_DOUBLE_EQ(c.dominant_frequency(99.0), 80.0);  // holds after sweep
+}
+
+TEST(Chirp, ContinuousAtSweepEnd) {
+    ChirpVibration c(1.0, 40.0, 80.0, 2.0);
+    const double eps = 1e-7;
+    EXPECT_NEAR(c.acceleration(2.0 - eps), c.acceleration(2.0 + eps), 1e-3);
+}
+
+TEST(Drift, FollowsProfile) {
+    DriftVibration d(1.0, {0.0, 10.0, 20.0}, {60.0, 70.0, 65.0});
+    EXPECT_DOUBLE_EQ(d.dominant_frequency(0.0), 60.0);
+    EXPECT_DOUBLE_EQ(d.dominant_frequency(5.0), 65.0);
+    EXPECT_DOUBLE_EQ(d.dominant_frequency(10.0), 70.0);
+    EXPECT_DOUBLE_EQ(d.dominant_frequency(15.0), 67.5);
+    EXPECT_DOUBLE_EQ(d.dominant_frequency(25.0), 65.0);  // clamped after end
+}
+
+TEST(Drift, WaveformContinuousThroughBreakpoints) {
+    DriftVibration d(1.0, {0.0, 1.0, 2.0}, {50.0, 60.0, 55.0});
+    const double eps = 1e-7;
+    for (double knot : {1.0, 2.0}) {
+        EXPECT_NEAR(d.acceleration(knot - eps), d.acceleration(knot + eps), 1e-3);
+    }
+}
+
+TEST(Drift, InstantaneousFrequencyMatchesZeroCrossings) {
+    DriftVibration d(1.0, {0.0, 100.0}, {60.0, 60.0});
+    int crossings = 0;
+    double prev = d.acceleration(10.0);
+    const double dt = 1e-4;
+    for (double t = 10.0 + dt; t < 11.0; t += dt) {
+        const double cur = d.acceleration(t);
+        if (prev < 0.0 && cur >= 0.0) ++crossings;
+        prev = cur;
+    }
+    EXPECT_NEAR(crossings, 60, 1);
+}
+
+TEST(Noisy, AddsRequestedNoisePower) {
+    auto base = std::make_shared<SineVibration>(1.0, 60.0);
+    NoisyVibration n(base, 0.3, 100.0, 42, 10.0);
+    EXPECT_NEAR(n.rms_amplitude(), std::sqrt(0.5 + 0.09), 1e-6);
+    EXPECT_DOUBLE_EQ(n.dominant_frequency(0.0), 60.0);
+}
+
+TEST(Noisy, DeterministicFromSeed) {
+    auto base = std::make_shared<SineVibration>(1.0, 60.0);
+    NoisyVibration a(base, 0.3, 100.0, 7, 2.0);
+    NoisyVibration b(base, 0.3, 100.0, 7, 2.0);
+    for (double t = 0.0; t < 1.0; t += 0.1) {
+        EXPECT_DOUBLE_EQ(a.acceleration(t), b.acceleration(t));
+    }
+    NoisyVibration c(base, 0.3, 100.0, 8, 2.0);
+    EXPECT_NE(a.acceleration(0.5), c.acceleration(0.5));
+}
+
+TEST(Noisy, Validation) {
+    auto base = std::make_shared<SineVibration>(1.0, 60.0);
+    EXPECT_THROW(NoisyVibration(nullptr, 0.1, 100.0, 1, 1.0), std::invalid_argument);
+    EXPECT_THROW(NoisyVibration(base, 0.1, 100.0, 1, 1.0, 150.0), std::invalid_argument);
+}
+
+TEST(Trace, PlaybackAndLooping) {
+    TraceVibration t({0.0, 1.0, 0.0, -1.0}, 4.0, 10.0);
+    EXPECT_DOUBLE_EQ(t.acceleration(0.25), 1.0);
+    EXPECT_DOUBLE_EQ(t.acceleration(0.125), 0.5);   // linear interp
+    EXPECT_DOUBLE_EQ(t.acceleration(1.25), 1.0);    // looped
+    EXPECT_DOUBLE_EQ(t.dominant_frequency(0.0), 10.0);
+    EXPECT_THROW(TraceVibration({0.0}, 4.0, 1.0), std::invalid_argument);
+}
+
+// Property: every source reports rms consistent with direct sampling.
+class RmsP : public ::testing::TestWithParam<int> {};
+
+TEST_P(RmsP, RmsMatchesSampledEstimate) {
+    std::shared_ptr<VibrationSource> src;
+    switch (GetParam()) {
+        case 0: src = std::make_shared<SineVibration>(1.3, 47.0); break;
+        case 1:
+            src = std::make_shared<MultiToneVibration>(
+                std::vector<MultiToneVibration::Tone>{{0.8, 50.0, 0.0}, {0.4, 75.0, 0.3}});
+            break;
+        case 2:
+            src = std::make_shared<DriftVibration>(0.9, std::vector<double>{0.0, 4.0},
+                                                   std::vector<double>{55.0, 65.0});
+            break;
+        default: src = std::make_shared<ChirpVibration>(1.1, 40.0, 60.0, 4.0); break;
+    }
+    double acc = 0.0;
+    const int n = 400000;
+    for (int i = 0; i < n; ++i) {
+        const double a = src->acceleration(i * (4.0 / n));
+        acc += a * a;
+    }
+    EXPECT_NEAR(std::sqrt(acc / n), src->rms_amplitude(), 0.05 * src->rms_amplitude());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sources, RmsP, ::testing::Values(0, 1, 2, 3));
