@@ -5,7 +5,6 @@
 #include <chrono>
 #include <cmath>
 #include <iostream>
-#include <numbers>
 #include <vector>
 
 #include "core/report.hpp"
@@ -25,7 +24,7 @@ struct RunOutcome {
 };
 
 RunOutcome run_fast(const HarvesterCircuit& c, double h, double t_end, double f_exc) {
-    auto accel = [f_exc](double t) { return 0.6 * std::sin(2.0 * std::numbers::pi * f_exc * t); };
+    auto accel = [f_exc](double t) { return 0.6 * std::sin(2.0 * M_PI * f_exc * t); };
     sim::PwlEngineOptions o;
     o.step = h;
     sim::PwlStateSpaceEngine eng(c.make_pwl_system(), o);
@@ -41,7 +40,7 @@ RunOutcome run_fast(const HarvesterCircuit& c, double h, double t_end, double f_
 
 RunOutcome run_slow(const HarvesterCircuit& c, double h, double t_end, double f_exc,
                     sim::TransientStats* stats = nullptr) {
-    auto accel = [f_exc](double t) { return 0.6 * std::sin(2.0 * std::numbers::pi * f_exc * t); };
+    auto accel = [f_exc](double t) { return 0.6 * std::sin(2.0 * M_PI * f_exc * t); };
     sim::TransientOptions o;
     o.step = h;
     sim::TransientEngine eng(c.make_nonlinear_rhs(accel), c.state_dim(), o);

@@ -56,7 +56,9 @@ int main() {
         const rsm::ValidationReport v = rsm::validate_holdout(fit, probe.points, y_probe);
         t.row()
             .cell(r.name)
-            .cell(res.simulations)
+            // Classical run count (design size), not deduplicated simulator
+            // invocations — replicated centre points are cache hits now.
+            .cell(res.design.runs())
             .cell(fit.r_squared(), 3)
             .cell(v.rmse, 5)
             .cell(v.nrmse_mean, 3)

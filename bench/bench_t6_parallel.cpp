@@ -1,0 +1,117 @@
+// T6 — batch evaluation engine: thread-count sweep over the paper's costly
+// phase (running the CCD node co-simulations of a representative harvester
+// scenario). Documents the speedup curve of the thread-pooled BatchRunner
+// and checks the determinism contract: the responses matrix must be
+// bitwise identical for every thread count.
+//
+// Writes the curve to BENCH_T6_PARALLEL.json in the working directory so CI
+// can track the perf trajectory across commits.
+#include <benchmark/benchmark.h>
+
+#include <fstream>
+#include <iostream>
+#include <vector>
+
+#include "core/report.hpp"
+#include "core/scenario.hpp"
+#include "core/thread_pool.hpp"
+#include "doe/batch_runner.hpp"
+#include "doe/composite.hpp"
+
+using namespace ehdoe;
+using namespace ehdoe::core;
+
+namespace {
+
+struct SweepPoint {
+    std::size_t threads = 0;
+    double wall_seconds = 0.0;
+    double speedup = 0.0;
+    double points_per_second = 0.0;
+    std::size_t simulations = 0;
+    std::size_t cache_hits = 0;
+    bool identical = false;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    benchmark::Initialize(&argc, argv);
+
+    const std::size_t hw = ThreadPool::hardware_threads();
+    std::cout << "T6 - thread-pooled batch evaluation of the DoE phase, scenario S1\n"
+              << "(48-run CCD, 600 s horizon, over the 6-factor space; " << hw << " hardware threads).\n\n";
+
+    const Scenario sc = Scenario::make(ScenarioId::OfficeHvac, 600.0);
+    const doe::DesignSpace space = sc.design_space();
+    const doe::Design design = doe::central_composite(space.dimension());
+
+    std::vector<std::size_t> counts{1, 2, 4};
+    if (hw != 1 && hw != 2 && hw != 4) counts.push_back(hw);
+
+    std::vector<SweepPoint> curve;
+    doe::RunResults reference;
+    for (const std::size_t threads : counts) {
+        doe::RunnerOptions o;
+        o.threads = threads;
+        doe::BatchRunner runner(sc.make_simulation(), o);
+        const doe::RunResults r = runner.run_design(space, design);
+
+        SweepPoint p;
+        p.threads = threads;
+        p.wall_seconds = r.wall_seconds;
+        p.simulations = r.simulations;
+        p.cache_hits = r.cache_hits;
+        // Simulated points only — cache hits are free and would inflate it.
+        p.points_per_second = static_cast<double>(r.simulations) / r.wall_seconds;
+        if (curve.empty()) {
+            reference = r;
+            p.speedup = 1.0;
+            p.identical = true;
+        } else {
+            p.speedup = curve.front().wall_seconds / r.wall_seconds;
+            // The determinism contract: bitwise, not approximately, equal.
+            p.identical = num::approx_equal(r.responses, reference.responses, 0.0);
+        }
+        curve.push_back(p);
+    }
+
+    Table t("T6: CCD wall time vs worker threads (48 design points)");
+    t.headers({"threads", "wall", "speedup", "points/s", "simulations", "cache hits",
+               "bitwise identical"});
+    for (const auto& p : curve) {
+        t.row()
+            .cell(p.threads)
+            .cell(format_seconds(p.wall_seconds))
+            .cell(p.speedup, 2)
+            .cell(p.points_per_second, 1)
+            .cell(p.simulations)
+            .cell(p.cache_hits)
+            .cell(p.identical ? "yes" : "NO");
+    }
+    t.print(std::cout);
+
+    bool all_identical = true;
+    for (const auto& p : curve) all_identical = all_identical && p.identical;
+    std::cout << "\nDeterminism: responses matrices "
+              << (all_identical ? "bitwise identical across all thread counts."
+                                : "DIFFER across thread counts - BUG.")
+              << "\n";
+
+    std::ofstream json("BENCH_T6_PARALLEL.json");
+    json << "{\n  \"bench\": \"t6_parallel\",\n  \"design_points\": " << design.runs()
+         << ",\n  \"hardware_threads\": " << hw << ",\n  \"bitwise_identical\": "
+         << (all_identical ? "true" : "false") << ",\n  \"sweep\": [\n";
+    for (std::size_t i = 0; i < curve.size(); ++i) {
+        const auto& p = curve[i];
+        json << "    {\"threads\": " << p.threads << ", \"wall_seconds\": " << p.wall_seconds
+             << ", \"speedup\": " << p.speedup << ", \"points_per_second\": "
+             << p.points_per_second << ", \"simulations\": " << p.simulations
+             << ", \"cache_hits\": " << p.cache_hits << "}" << (i + 1 < curve.size() ? "," : "")
+             << "\n";
+    }
+    json << "  ]\n}\n";
+    std::cout << "Curve written to BENCH_T6_PARALLEL.json\n";
+
+    return all_identical ? 0 : 1;
+}

@@ -1,0 +1,63 @@
+#include "core/thread_pool.hpp"
+
+#include <stdexcept>
+
+namespace ehdoe::core {
+
+std::size_t ThreadPool::hardware_threads() {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+    if (threads == 0) threads = hardware_threads();
+    workers_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i) {
+        workers_.emplace_back([this] { worker_loop(); });
+    }
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_) {
+        if (w.joinable()) w.join();
+    }
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+    if (!task) throw std::invalid_argument("ThreadPool::submit: empty task");
+    std::packaged_task<void()> packaged(std::move(task));
+    std::future<void> future = packaged.get_future();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stop_) throw std::runtime_error("ThreadPool::submit: pool is shut down");
+        tasks_.push(std::move(packaged));
+    }
+    cv_.notify_one();
+    return future;
+}
+
+std::size_t ThreadPool::pending() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return tasks_.size();
+}
+
+void ThreadPool::worker_loop() {
+    for (;;) {
+        std::packaged_task<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+            if (tasks_.empty()) return;  // stop_ and drained
+            task = std::move(tasks_.front());
+            tasks_.pop();
+        }
+        task();  // packaged_task captures exceptions into the future
+    }
+}
+
+}  // namespace ehdoe::core

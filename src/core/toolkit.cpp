@@ -11,8 +11,14 @@ DesignFlow::DesignFlow(doe::DesignSpace space, doe::Simulation simulation)
     : DesignFlow(std::move(space), std::move(simulation), Options{}) {}
 
 DesignFlow::DesignFlow(doe::DesignSpace space, doe::Simulation simulation, Options options)
-    : space_(std::move(space)), simulation_(std::move(simulation)), options_(options) {
-    if (!simulation_) throw std::invalid_argument("DesignFlow: simulation required");
+    : space_(std::move(space)), options_(std::move(options)) {
+    if (!simulation) throw std::invalid_argument("DesignFlow: simulation required");
+    doe::RunnerOptions ro;
+    ro.threads = options_.runner_threads;
+    ro.batch_size = options_.runner_batch_size;
+    ro.memoize = options_.memoize;
+    ro.on_batch = options_.on_batch;
+    runner_ = std::make_unique<doe::BatchRunner>(std::move(simulation), std::move(ro));
 }
 
 const doe::RunResults& DesignFlow::run_ccd() {
@@ -20,9 +26,7 @@ const doe::RunResults& DesignFlow::run_ccd() {
 }
 
 const doe::RunResults& DesignFlow::run(const doe::Design& design) {
-    doe::RunnerOptions ro;
-    ro.threads = options_.runner_threads;
-    results_ = doe::run_design(space_, design, simulation_, ro);
+    results_ = runner_->run_design(space_, design);
     simulator_calls_ += results_->simulations;
     surfaces_.clear();  // stale fits die with their data
     return *results_;
@@ -56,9 +60,7 @@ rsm::ValidationReport DesignFlow::validate(const std::string& response, std::siz
     const rsm::ResponseSurface& s = surface(response);
     const doe::Design probe =
         doe::latin_hypercube(n_points, space_.dimension(), options_.seed ^ 0xA5A5u);
-    doe::RunnerOptions ro;
-    ro.threads = options_.runner_threads;
-    const doe::RunResults res = doe::run_points(space_, probe.points, simulation_, ro);
+    const doe::RunResults res = runner_->run_points(space_, probe.points);
     simulator_calls_ += res.simulations;
     return rsm::validate_holdout(s.fit(), probe.points, res.response(response));
 }
@@ -152,9 +154,13 @@ OptimizationOutcome DesignFlow::optimize(const std::string& objective, bool maxi
     for (const auto& [name, s] : surfaces_) out.predicted_responses[name] = s.value(best.x);
 
     if (confirm_with_simulation) {
-        const auto sim = simulation_(out.natural);
-        ++simulator_calls_;
-        ++out.simulator_calls;
+        // Route the confirmation through the batch engine: a winner on an
+        // already-simulated point (e.g. a design vertex) is a cache hit.
+        const std::size_t sims_before = runner_->stats().simulations;
+        const auto sim = runner_->evaluate_point(out.natural);
+        const std::size_t delta = runner_->stats().simulations - sims_before;
+        simulator_calls_ += delta;
+        out.simulator_calls += delta;
         const auto it = sim.find(objective);
         if (it != sim.end()) out.confirmed = it->second;
     }

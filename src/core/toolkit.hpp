@@ -18,6 +18,7 @@
 #include <optional>
 #include <string>
 
+#include "doe/batch_runner.hpp"
 #include "doe/composite.hpp"
 #include "doe/factorial.hpp"
 #include "doe/lhs.hpp"
@@ -54,7 +55,16 @@ public:
         /// axial points must stay on the cube.
         doe::CcdOptions ccd{doe::CcdVariant::FaceCentred, doe::CcdAlpha::Rotatable, 4, true};
         rsm::ModelOrder order = rsm::ModelOrder::Quadratic;
+        /// Worker threads of the batch evaluation engine; 0 = all hardware.
         std::size_t runner_threads = 1;
+        /// Points per work batch; 0 = auto.
+        std::size_t runner_batch_size = 0;
+        /// Memoize simulations across the whole flow: centre replicates,
+        /// validation re-runs and confirmation of already-simulated points
+        /// cost nothing.
+        bool memoize = true;
+        /// Per-batch progress callback (throughput reporting).
+        std::function<void(const doe::BatchProgress&)> on_batch;
         std::uint64_t seed = 2013;
     };
 
@@ -74,6 +84,11 @@ public:
     bool has_results() const { return results_.has_value(); }
     /// Total simulator invocations so far (incl. validation/confirmation).
     std::size_t simulator_calls() const { return simulator_calls_; }
+    /// Lifetime counters of the batch engine (simulations, cache hits,
+    /// batches, wall time) — the cost ledger of the whole flow.
+    const doe::BatchStats& batch_stats() const { return runner_->stats(); }
+    /// Evaluations memoized so far.
+    std::size_t cache_size() const { return runner_->cache_size(); }
 
     // ---- phase 3: fit ------------------------------------------------------
     /// Fit (and cache) the RSM of a named response.
@@ -107,8 +122,10 @@ private:
     const rsm::ResponseSurface& surface_checked(const std::string& response) const;
 
     doe::DesignSpace space_;
-    doe::Simulation simulation_;
     Options options_;
+    /// The batch evaluation engine: owns the simulation, the thread pool
+    /// and the memoization cache shared by every phase that simulates.
+    std::unique_ptr<doe::BatchRunner> runner_;
     std::optional<doe::RunResults> results_;
     std::map<std::string, rsm::ResponseSurface> surfaces_;
     std::size_t simulator_calls_ = 0;

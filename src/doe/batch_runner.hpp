@@ -1,0 +1,93 @@
+// ehdoe/doe/batch_runner.hpp
+//
+// The batch evaluation engine: the one place in the toolkit where simulator
+// time is actually spent. A BatchRunner owns a Simulation plus a fixed-size
+// thread pool and turns matrices of design points into response matrices:
+//
+//  * deterministic — results land in design order and are bitwise identical
+//    regardless of thread count, because every unique point is evaluated
+//    exactly once, serially within one task;
+//  * memoized — evaluations are cached keyed on the exact natural-unit
+//    vector, so CCD centre replicates, validation re-runs and optimizer
+//    confirmation visits of already-simulated points are free;
+//  * batched — unique points are chunked into work batches dispatched on
+//    the pool, with a progress/throughput callback per completed batch;
+//  * exception-correct — a throwing Simulation aborts the run after all
+//    in-flight batches drain, and the first failure in batch order is
+//    rethrown to the caller.
+//
+// The free functions run_design()/run_points() in runner.hpp are thin
+// wrappers over a per-call BatchRunner; core::DesignFlow holds a persistent
+// one so the cache spans the whole DoE -> RSM -> confirm loop.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "doe/runner.hpp"
+
+namespace ehdoe::core {
+class ThreadPool;
+}
+
+namespace ehdoe::doe {
+
+/// Named responses of one simulation (replicate-averaged).
+using ResponseMap = std::map<std::string, double>;
+
+/// Lifetime counters of a BatchRunner (across all calls).
+struct BatchStats {
+    std::size_t points = 0;        ///< design points requested
+    std::size_t simulations = 0;   ///< simulator invocations performed
+    std::size_t cache_hits = 0;    ///< points served without simulating
+    std::size_t batches = 0;       ///< work batches dispatched
+    double wall_seconds = 0.0;     ///< total time inside evaluate()
+};
+
+class BatchRunner {
+public:
+    /// Takes ownership of the simulation; options are fixed for the
+    /// runner's lifetime (the cache is only valid for one replicate count).
+    explicit BatchRunner(Simulation sim, RunnerOptions options = {});
+    ~BatchRunner();
+
+    BatchRunner(const BatchRunner&) = delete;
+    BatchRunner& operator=(const BatchRunner&) = delete;
+
+    /// Evaluate every row of `natural` (natural units), in row order.
+    std::vector<ResponseMap> evaluate(const Matrix& natural);
+
+    /// Evaluate a single natural-unit point (cached like any other).
+    ResponseMap evaluate_point(const Vector& natural);
+
+    /// Run explicit *coded* points mapped through `space`.
+    RunResults run_points(const DesignSpace& space, const Matrix& coded_points);
+
+    /// Run a whole design mapped through `space`.
+    RunResults run_design(const DesignSpace& space, const Design& design);
+
+    const RunnerOptions& options() const { return options_; }
+    const BatchStats& stats() const { return stats_; }
+    /// Worker threads the runner resolved (0 in options -> hardware).
+    std::size_t threads() const { return threads_; }
+
+    std::size_t cache_size() const { return cache_.size(); }
+    void clear_cache() { cache_.clear(); }
+
+private:
+    /// Evaluate one point: replicate loop + averaging. Called off-thread.
+    ResponseMap simulate_once(const Vector& natural) const;
+
+    Simulation sim_;
+    RunnerOptions options_;
+    std::size_t threads_ = 1;
+    /// Created on first parallel call, then reused.
+    std::unique_ptr<core::ThreadPool> pool_;
+    /// Exact-match memoization cache; keys are the raw natural coordinates.
+    std::map<std::vector<double>, ResponseMap> cache_;
+    BatchStats stats_;
+};
+
+}  // namespace ehdoe::doe

@@ -1,7 +1,7 @@
 #include "doe/factorial.hpp"
 
 #include <algorithm>
-#include <bit>
+#include <cstdint>
 #include <cctype>
 #include <stdexcept>
 
@@ -89,7 +89,9 @@ FractionalFactorial fractional_factorial(std::size_t k,
         }
         std::string lhs = s.substr(0, eq);
         // Trim whitespace.
-        std::erase_if(lhs, [](unsigned char c) { return std::isspace(c); });
+        lhs.erase(std::remove_if(lhs.begin(), lhs.end(),
+                                 [](unsigned char c) { return std::isspace(c) != 0; }),
+                  lhs.end());
         if (lhs.size() != 1)
             throw std::invalid_argument("fractional_factorial: one target letter per generator");
         const std::size_t target = letter_index(lhs[0]);
@@ -151,7 +153,9 @@ FractionalFactorial fractional_factorial(std::size_t k,
                 if ((combo >> g) & 1u) w ^= words[g];
             }
             out.defining_words.push_back(w);
-            res = std::min(res, static_cast<unsigned>(std::popcount(w)));
+            unsigned weight = 0;
+            for (std::uint32_t bits = w; bits != 0; bits &= bits - 1) ++weight;
+            res = std::min(res, weight);
         }
         out.resolution = res;
     }

@@ -1,8 +1,8 @@
 #include "doe/runner.hpp"
 
-#include <chrono>
-#include <future>
 #include <stdexcept>
+
+#include "doe/batch_runner.hpp"
 
 namespace ehdoe::doe {
 
@@ -23,81 +23,17 @@ std::size_t RunResults::response_index(const std::string& name) const {
 RunResults run_points(const DesignSpace& space, const Matrix& coded_points,
                       const Simulation& sim, const RunnerOptions& options) {
     if (!sim) throw std::invalid_argument("run_points: simulation required");
-    if (coded_points.cols() != space.dimension())
-        throw std::invalid_argument("run_points: dimension mismatch");
     if (options.replicates == 0) throw std::invalid_argument("run_points: replicates >= 1");
-
-    const auto t0 = std::chrono::steady_clock::now();
-    const std::size_t n = coded_points.rows();
-
-    RunResults out;
-    out.design.kind = "explicit-points";
-    out.design.points = coded_points;
-    out.natural = Matrix(n, space.dimension());
-    for (std::size_t i = 0; i < n; ++i) {
-        out.natural.set_row(i, space.to_natural(coded_points.row(i)));
-    }
-
-    // Evaluate one point (averaging replicates).
-    auto evaluate = [&](std::size_t i) -> std::map<std::string, double> {
-        std::map<std::string, double> acc;
-        for (std::size_t r = 0; r < options.replicates; ++r) {
-            std::map<std::string, double> one = sim(out.natural.row(i));
-            if (one.empty()) throw std::runtime_error("run_points: simulation returned nothing");
-            for (const auto& [k, v] : one) acc[k] += v;
-        }
-        for (auto& [k, v] : acc) v /= static_cast<double>(options.replicates);
-        return acc;
-    };
-
-    std::vector<std::map<std::string, double>> rows(n);
-    if (options.threads <= 1 || n <= 1) {
-        for (std::size_t i = 0; i < n; ++i) rows[i] = evaluate(i);
-    } else {
-        // Block-dispatch via std::async: bounded parallelism, exception-safe.
-        const std::size_t workers = std::min(options.threads, n);
-        std::vector<std::future<void>> futs;
-        futs.reserve(workers);
-        std::atomic<std::size_t> next{0};
-        for (std::size_t w = 0; w < workers; ++w) {
-            futs.push_back(std::async(std::launch::async, [&]() {
-                for (;;) {
-                    const std::size_t i = next.fetch_add(1);
-                    if (i >= n) return;
-                    rows[i] = evaluate(i);
-                }
-            }));
-        }
-        for (auto& f : futs) f.get();  // propagate exceptions
-    }
-
-    // Establish the response-name order from the first row and require
-    // consistency (a simulation that sometimes drops a response is a bug).
-    for (const auto& [k, v] : rows[0]) out.response_names.push_back(k);
-    out.responses = Matrix(n, out.response_names.size());
-    for (std::size_t i = 0; i < n; ++i) {
-        if (rows[i].size() != out.response_names.size())
-            throw std::runtime_error("run_points: inconsistent response sets across runs");
-        for (std::size_t j = 0; j < out.response_names.size(); ++j) {
-            const auto it = rows[i].find(out.response_names[j]);
-            if (it == rows[i].end())
-                throw std::runtime_error("run_points: response '" + out.response_names[j] +
-                                         "' missing from run " + std::to_string(i));
-            out.responses(i, j) = it->second;
-        }
-    }
-
-    out.simulations = n * options.replicates;
-    out.wall_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
-    return out;
+    BatchRunner runner(sim, options);
+    return runner.run_points(space, coded_points);
 }
 
 RunResults run_design(const DesignSpace& space, const Design& design, const Simulation& sim,
                       const RunnerOptions& options) {
-    RunResults out = run_points(space, design.points, sim, options);
-    out.design = design;
-    return out;
+    if (!sim) throw std::invalid_argument("run_design: simulation required");
+    if (options.replicates == 0) throw std::invalid_argument("run_design: replicates >= 1");
+    BatchRunner runner(sim, options);
+    return runner.run_design(space, design);
 }
 
 }  // namespace ehdoe::doe

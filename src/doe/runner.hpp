@@ -2,9 +2,11 @@
 //
 // Executes a design: maps every design point (in natural units) through a
 // user-supplied simulation functor and collects the responses. This is the
-// bridge between the DoE combinatorics and the node co-simulation, with
-// optional std::async parallelism (simulations are independent) and
-// optional replicated runs with observation noise for robustness studies.
+// bridge between the DoE combinatorics and the node co-simulation. The
+// free functions here are thin wrappers over the batch evaluation engine
+// (doe::BatchRunner, batch_runner.hpp): thread-pooled batched execution,
+// deterministic design-order results for any thread count, and — on by
+// default — memoization of repeated points (see RunnerOptions::memoize).
 #pragma once
 
 #include <functional>
@@ -20,6 +22,18 @@ namespace ehdoe::doe {
 /// A simulation: natural-units factor vector -> named responses.
 using Simulation = std::function<std::map<std::string, double>(const Vector& natural)>;
 
+/// Snapshot handed to RunnerOptions::on_batch every time a work batch
+/// completes. Counters are scoped to the current evaluate()/run call.
+struct BatchProgress {
+    std::size_t batch_index = 0;      ///< completion order, 0-based
+    std::size_t batch_count = 0;      ///< batches in this call
+    std::size_t points_done = 0;      ///< unique points simulated so far
+    std::size_t points_total = 0;     ///< unique points this call must simulate
+    std::size_t cache_hits = 0;       ///< points served without simulating
+    double elapsed_seconds = 0.0;     ///< since the call started
+    double points_per_second = 0.0;   ///< throughput over elapsed_seconds
+};
+
 /// Collected responses of a design execution, column-per-response.
 struct RunResults {
     Design design;                       ///< the (coded) design that was run
@@ -28,6 +42,7 @@ struct RunResults {
     Matrix responses;                    ///< runs x responses
     double wall_seconds = 0.0;           ///< total execution time
     std::size_t simulations = 0;         ///< simulator invocations
+    std::size_t cache_hits = 0;          ///< design points served from the cache
 
     /// Column of a named response; throws for unknown names.
     std::vector<double> response(const std::string& name) const;
@@ -35,12 +50,24 @@ struct RunResults {
 };
 
 struct RunnerOptions {
-    /// Number of worker threads; 1 = serial. Simulations must be thread-safe
-    /// pure functions of their input (all toolkit simulations are).
+    /// Number of worker threads; 1 = serial, 0 = all hardware threads.
+    /// Simulations must be thread-safe pure functions of their input (all
+    /// toolkit simulations are).
     std::size_t threads = 1;
     /// Replicates per design point (responses averaged; useful when the
     /// simulation itself is stochastic).
     std::size_t replicates = 1;
+    /// Points per work batch; 0 picks a size that gives each worker a few
+    /// batches for load balance.
+    std::size_t batch_size = 0;
+    /// Memoize evaluations keyed on the natural-unit point: repeated points
+    /// (CCD centre replicates, confirmation re-runs, optimizer re-visits)
+    /// are simulated once. Disable for simulations that are intentionally
+    /// stochastic per call — with memoization on, replicated design points
+    /// return identical copies, so they carry no pure-error information.
+    bool memoize = true;
+    /// Invoked after every completed batch (from worker threads, serialized).
+    std::function<void(const BatchProgress&)> on_batch;
 };
 
 /// Run `sim` at every point of `design` mapped through `space`.

@@ -1,7 +1,6 @@
 #include "harvester/harvester_system.hpp"
 
 #include <cmath>
-#include <numbers>
 #include <stdexcept>
 
 #include "numerics/linalg.hpp"
@@ -9,7 +8,7 @@
 namespace ehdoe::harvester {
 
 namespace {
-constexpr double kTwoPi = 2.0 * std::numbers::pi;
+constexpr double kTwoPi = 2.0 * M_PI;
 }
 
 void HarvesterCircuitParams::validate() const {

@@ -1,13 +1,12 @@
 #include "harvester/microgenerator.hpp"
 
 #include <cmath>
-#include <numbers>
 #include <stdexcept>
 
 namespace ehdoe::harvester {
 
 namespace {
-constexpr double kTwoPi = 2.0 * std::numbers::pi;
+constexpr double kTwoPi = 2.0 * M_PI;
 }
 
 double MicrogeneratorParams::omega0() const { return kTwoPi * natural_freq_hz; }

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <numbers>
 #include <stdexcept>
 
 namespace ehdoe::harvester {
@@ -61,7 +60,7 @@ double TuningMap::separation_for(double f_hz) const {
 }
 
 double TuningMap::spring_constant(double d_mm, double mass_kg) const {
-    const double w = 2.0 * std::numbers::pi * frequency(d_mm);
+    const double w = 2.0 * M_PI * frequency(d_mm);
     return mass_kg * w * w;
 }
 

@@ -2,13 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
-#include <numbers>
 #include <stdexcept>
 
 namespace ehdoe::harvester {
 
 namespace {
-constexpr double kTwoPi = 2.0 * std::numbers::pi;
+constexpr double kTwoPi = 2.0 * M_PI;
 }
 
 double VibrationSource::rms_amplitude() const {
@@ -34,7 +33,7 @@ double SineVibration::acceleration(double t) const {
     return amp_ * std::sin(kTwoPi * freq_ * t + phase_);
 }
 
-double SineVibration::rms_amplitude() const { return amp_ / std::numbers::sqrt2; }
+double SineVibration::rms_amplitude() const { return amp_ / M_SQRT2; }
 
 // -------------------------------------------------------------- multitone
 
@@ -92,7 +91,7 @@ double ChirpVibration::dominant_frequency(double t) const {
     return f0_ + (f1_ - f0_) * (t / dur_);
 }
 
-double ChirpVibration::rms_amplitude() const { return amp_ / std::numbers::sqrt2; }
+double ChirpVibration::rms_amplitude() const { return amp_ / M_SQRT2; }
 
 // ------------------------------------------------------------------ drift
 
@@ -133,7 +132,7 @@ double DriftVibration::acceleration(double t) const { return amp_ * std::sin(pha
 
 double DriftVibration::dominant_frequency(double t) const { return freq_(t); }
 
-double DriftVibration::rms_amplitude() const { return amp_ / std::numbers::sqrt2; }
+double DriftVibration::rms_amplitude() const { return amp_ / M_SQRT2; }
 
 // ------------------------------------------------------------------ noisy
 

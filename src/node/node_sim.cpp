@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <numbers>
 #include <stdexcept>
 
 namespace ehdoe::node {
@@ -49,7 +48,7 @@ NodeMetrics NodeSimulation::execute(double trace_dt, std::vector<TracePoint>* tr
 
     // Excitation amplitude for the power-flow model: treat the source as a
     // tone of equivalent RMS at its instantaneous dominant frequency.
-    const double accel_amp = vib.rms_amplitude() * std::numbers::sqrt2;
+    const double accel_amp = vib.rms_amplitude() * M_SQRT2;
 
     // Resonant frequency follows the (possibly moving) magnet position; when
     // tuning is disabled the device stays at its configured resonance.

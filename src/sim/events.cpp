@@ -1,5 +1,6 @@
 #include "sim/events.hpp"
 
+#include <algorithm>
 #include <limits>
 #include <memory>
 #include <stdexcept>
@@ -58,9 +59,18 @@ bool EventQueue::run_next() {
         Callback cb = std::move(e->cb);
         e->cancelled = true;  // mark consumed
         cb(now_);
-        // Opportunistic compaction when most storage is dead.
+        // Opportunistic compaction when most storage is dead. The heap may
+        // still hold raw pointers to cancelled entries (they are only
+        // discarded lazily on pop), so it must be rebuilt from the
+        // surviving live entries before the dead ones are freed.
         if (storage_.size() > 1024 && live_count_ * 4 < storage_.size()) {
-            std::erase_if(storage_, [](const std::unique_ptr<Entry>& p) { return p->cancelled; });
+            storage_.erase(
+                std::remove_if(storage_.begin(), storage_.end(),
+                               [](const std::unique_ptr<Entry>& p) { return p->cancelled; }),
+                storage_.end());
+            std::priority_queue<Entry*, std::vector<Entry*>, Order> rebuilt;
+            for (const auto& p : storage_) rebuilt.push(p.get());
+            queue_ = std::move(rebuilt);
         }
         return true;
     }

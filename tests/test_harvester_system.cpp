@@ -3,7 +3,6 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
-#include <numbers>
 
 #include "harvester/harvester_system.hpp"
 #include "sim/transient.hpp"
@@ -12,7 +11,7 @@ using namespace ehdoe::harvester;
 using ehdoe::num::Vector;
 
 namespace {
-constexpr double kTwoPi = 2.0 * std::numbers::pi;
+constexpr double kTwoPi = 2.0 * M_PI;
 
 std::function<double(double)> sine_accel(double amp, double f) {
     return [amp, f](double t) { return amp * std::sin(kTwoPi * f * t); };

@@ -88,7 +88,10 @@ TEST(Runner, RejectsInconsistentResponses) {
         }
         return std::map<std::string, double>{{"a", 1.0}};
     };
+    // Distinct points: identical ones would (correctly) be served from the
+    // memoization cache and never reach the flaky simulation twice.
     ehdoe::num::Matrix pts(2, 2);
+    pts(1, 0) = 0.5;
     EXPECT_THROW(run_points(kSpace, pts, flaky), std::runtime_error);
 }
 

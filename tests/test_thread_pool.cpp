@@ -1,0 +1,67 @@
+// Fixed-size thread pool tests.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <stdexcept>
+#include <thread>
+
+#include "core/thread_pool.hpp"
+
+using ehdoe::core::ThreadPool;
+
+TEST(ThreadPool, RunsEveryTask) {
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4u);
+    std::atomic<int> count{0};
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 100; ++i) {
+        futures.push_back(pool.submit([&count] { count.fetch_add(1); }));
+    }
+    for (auto& f : futures) f.get();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ZeroPromotesToHardware) {
+    ThreadPool pool(0);
+    EXPECT_GE(pool.size(), 1u);
+    EXPECT_EQ(pool.size(), ThreadPool::hardware_threads());
+}
+
+TEST(ThreadPool, TaskExceptionSurfacesThroughFuture) {
+    ThreadPool pool(2);
+    auto ok = pool.submit([] {});
+    auto bad = pool.submit([] { throw std::runtime_error("task failed"); });
+    EXPECT_NO_THROW(ok.get());
+    EXPECT_THROW(bad.get(), std::runtime_error);
+    // The worker that ran the throwing task must survive it.
+    auto after = pool.submit([] {});
+    EXPECT_NO_THROW(after.get());
+}
+
+TEST(ThreadPool, RejectsEmptyTask) {
+    ThreadPool pool(1);
+    EXPECT_THROW(pool.submit(nullptr), std::invalid_argument);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks) {
+    std::atomic<int> count{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 32; ++i) {
+            pool.submit([&count] {
+                std::this_thread::sleep_for(std::chrono::milliseconds(1));
+                count.fetch_add(1);
+            });
+        }
+    }  // ~ThreadPool joins after the queue drains
+    EXPECT_EQ(count.load(), 32);
+}
+
+TEST(ThreadPool, TasksRunOffTheSubmittingThread) {
+    ThreadPool pool(2);
+    std::thread::id worker_id;
+    pool.submit([&worker_id] { worker_id = std::this_thread::get_id(); }).get();
+    EXPECT_NE(worker_id, std::this_thread::get_id());
+}

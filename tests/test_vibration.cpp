@@ -3,7 +3,6 @@
 
 #include <cmath>
 #include <memory>
-#include <numbers>
 
 #include "harvester/vibration.hpp"
 
@@ -14,7 +13,7 @@ TEST(Sine, WaveformAndRms) {
     EXPECT_NEAR(s.acceleration(0.0), 0.0, 1e-12);
     EXPECT_NEAR(s.acceleration(0.005), 2.0, 1e-12);  // quarter period
     EXPECT_DOUBLE_EQ(s.dominant_frequency(123.0), 50.0);
-    EXPECT_NEAR(s.rms_amplitude(), 2.0 / std::numbers::sqrt2, 1e-12);
+    EXPECT_NEAR(s.rms_amplitude(), 2.0 / M_SQRT2, 1e-12);
 }
 
 TEST(Sine, Validation) {
@@ -29,7 +28,7 @@ TEST(MultiTone, DominantIsLargestAmplitude) {
 }
 
 TEST(MultiTone, SuperpositionAtTimeZero) {
-    MultiToneVibration m({{1.0, 10.0, std::numbers::pi / 2.0}, {0.5, 20.0, std::numbers::pi / 2.0}});
+    MultiToneVibration m({{1.0, 10.0, M_PI / 2.0}, {0.5, 20.0, M_PI / 2.0}});
     EXPECT_NEAR(m.acceleration(0.0), 1.5, 1e-12);
     EXPECT_THROW(MultiToneVibration({}), std::invalid_argument);
 }
