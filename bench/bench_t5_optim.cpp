@@ -3,12 +3,20 @@
 // abstract calls "difficult to use, due to long CPU times".
 // Task: maximize delivered packets on S2 subject to no downtime and a
 // healthy storage margin.
+//
+// The population heuristics (GA, SA restarts) submit whole generations
+// through the batch evaluation engine (opt::BatchObjective over a
+// doe::BatchRunner), so the direct-on-simulator baseline is itself
+// parallel and memoized — the paper's comparison is against the status quo
+// at its best, and the trajectories are identical to serial evaluation.
 #include <chrono>
 #include <iostream>
+#include <vector>
 
 #include "core/report.hpp"
 #include "core/scenario.hpp"
 #include "core/toolkit.hpp"
+#include "doe/batch_runner.hpp"
 #include "opt/anneal.hpp"
 #include "opt/genetic.hpp"
 #include "opt/pattern.hpp"
@@ -18,7 +26,19 @@ using namespace ehdoe::core;
 
 namespace {
 
-// Penalized objective evaluated directly on the simulator (coded units).
+/// Penalized objective value from one simulated response set.
+double penalized_value(const std::map<std::string, double>& r) {
+    double v = -r.at(kRespPackets);
+    const double downtime = r.at(kRespDowntime);
+    const double vmin = r.at(kRespVmin);
+    if (downtime > 0.5) v += 1e3 * downtime;
+    if (vmin < 2.0) v += 1e4 * (2.0 - vmin);
+    return v;
+}
+
+// Penalized objective evaluated directly on the simulator (coded units),
+// one point per call — the serial baseline (pattern search is inherently
+// sequential).
 struct DirectObjective {
     const Scenario* sc;
     const doe::DesignSpace* space;
@@ -27,13 +47,35 @@ struct DirectObjective {
 
     double operator()(const num::Vector& coded) const {
         ++calls;
-        const auto r = sim(space->to_natural(space->clamp(coded)));
-        double v = -r.at(kRespPackets);
-        const double downtime = r.at(kRespDowntime);
-        const double vmin = r.at(kRespVmin);
-        if (downtime > 0.5) v += 1e3 * downtime;
-        if (vmin < 2.0) v += 1e4 * (2.0 - vmin);
-        return v;
+        return penalized_value(sim(space->to_natural(space->clamp(coded))));
+    }
+};
+
+// Same objective as a population batch routed through the batch engine.
+struct BatchDirectObjective {
+    const doe::DesignSpace* space;
+    std::shared_ptr<doe::BatchRunner> runner;
+
+    BatchDirectObjective(const Scenario& sc, const doe::DesignSpace& sp, std::size_t threads)
+        : space(&sp) {
+        doe::RunnerOptions o;
+        o.threads = threads;
+        runner = std::make_shared<doe::BatchRunner>(sc.make_simulation(), o);
+    }
+
+    opt::BatchObjective batch() const {
+        const doe::DesignSpace* sp = space;
+        auto r = runner;
+        return [sp, r](const std::vector<num::Vector>& coded) {
+            std::vector<num::Vector> natural;
+            natural.reserve(coded.size());
+            for (const auto& c : coded) natural.push_back(sp->to_natural(sp->clamp(c)));
+            const auto rows = r->evaluate(natural);
+            std::vector<double> values;
+            values.reserve(rows.size());
+            for (const auto& row : rows) values.push_back(penalized_value(row));
+            return values;
+        };
     }
 };
 
@@ -70,40 +112,55 @@ int main() {
     }
 
     // --- direct heuristics --------------------------------------------------
-    const auto run_direct = [&](const char* name, auto&& optimize) {
-        DirectObjective obj{&sc, &space, sc.make_simulation()};
+    // GA/SA: populations batched through the evaluation engine. The
+    // "simulator calls" column reports actual simulations — memoization
+    // makes revisited genomes free, which only flatters the baseline.
+    const auto run_batched = [&](const char* name, auto&& optimize) {
+        BatchDirectObjective obj(sc, space, 8);
         const auto t0 = std::chrono::steady_clock::now();
-        const opt::OptResult r = optimize(obj);
+        const opt::OptResult r = optimize(obj.batch());
         const double wall =
             std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
-        // Confirm the winner.
-        const auto conf = sc.make_simulation()(space.to_natural(space.clamp(r.x)));
+        // Confirm the winner (an already-visited point is a cache hit).
+        const auto conf = obj.runner->evaluate_point(space.to_natural(space.clamp(r.x)));
         t.row()
             .cell(name)
-            .cell(obj.calls)
+            .cell(obj.runner->stats().simulations)
             .cell(core::format_seconds(wall))
             .cell(conf.at(kRespPackets), 1);
     };
 
     const opt::Bounds cube = opt::Bounds::coded_cube(6);
-    run_direct("genetic algorithm (direct)", [&](const DirectObjective& obj) {
+    run_batched("genetic algorithm (direct, batched)", [&](const opt::BatchObjective& obj) {
         opt::GeneticOptions g;
         g.population = 30;
         g.generations = 40;
         g.seed = 5;
-        return opt::genetic_minimize([&obj](const num::Vector& x) { return obj(x); }, cube, g);
+        return opt::genetic_minimize(obj, cube, g);
     });
-    run_direct("simulated annealing (direct)", [&](const DirectObjective& obj) {
+    run_batched("simulated annealing (direct, batched)", [&](const opt::BatchObjective& obj) {
         opt::AnnealOptions a;
         a.moves_per_epoch = 25;
         a.seed = 5;
-        return opt::simulated_annealing([&obj](const num::Vector& x) { return obj(x); }, cube,
-                                        num::Vector(6), a);
+        a.restarts = 4;
+        return opt::simulated_annealing(obj, cube, num::Vector(6), a);
     });
-    run_direct("pattern search (direct)", [&](const DirectObjective& obj) {
-        return opt::pattern_search([&obj](const num::Vector& x) { return obj(x); }, cube,
-                                   num::Vector(6));
-    });
+
+    // Pattern search stays point-at-a-time: its polling loop is sequential.
+    {
+        DirectObjective obj{&sc, &space, sc.make_simulation()};
+        const auto t0 = std::chrono::steady_clock::now();
+        const opt::OptResult r = opt::pattern_search(
+            [&obj](const num::Vector& x) { return obj(x); }, cube, num::Vector(6));
+        const double wall =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+        const auto conf = sc.make_simulation()(space.to_natural(space.clamp(r.x)));
+        t.row()
+            .cell("pattern search (direct)")
+            .cell(obj.calls)
+            .cell(core::format_seconds(wall))
+            .cell(conf.at(kRespPackets), 1);
+    }
 
     t.print(std::cout);
     std::cout << "\nExpected shape: the DoE flow reaches a comparable objective with\n"

@@ -4,12 +4,14 @@
 // and checks the determinism contract: the responses matrix must be
 // bitwise identical for every thread count.
 //
-// Writes the curve to BENCH_T6_PARALLEL.json in the working directory so CI
-// can track the perf trajectory across commits.
+// Appends the curve as one JSONL line to the tracked perf-trajectory
+// ledger bench/history/t6_parallel.jsonl (resolved by walking up from the
+// working directory; see bench/history/README.md).
 #include <benchmark/benchmark.h>
 
-#include <fstream>
+#include <ctime>
 #include <iostream>
+#include <sstream>
 #include <vector>
 
 #include "core/report.hpp"
@@ -98,20 +100,26 @@ int main(int argc, char** argv) {
                                 : "DIFFER across thread counts - BUG.")
               << "\n";
 
-    std::ofstream json("BENCH_T6_PARALLEL.json");
-    json << "{\n  \"bench\": \"t6_parallel\",\n  \"design_points\": " << design.runs()
-         << ",\n  \"hardware_threads\": " << hw << ",\n  \"bitwise_identical\": "
-         << (all_identical ? "true" : "false") << ",\n  \"sweep\": [\n";
+    std::ostringstream json;
+    json << "{\"bench\": \"t6_parallel\", \"timestamp\": " << std::time(nullptr)
+         << ", \"design_points\": " << design.runs() << ", \"hardware_threads\": " << hw
+         << ", \"bitwise_identical\": " << (all_identical ? "true" : "false")
+         << ", \"sweep\": [";
     for (std::size_t i = 0; i < curve.size(); ++i) {
         const auto& p = curve[i];
-        json << "    {\"threads\": " << p.threads << ", \"wall_seconds\": " << p.wall_seconds
-             << ", \"speedup\": " << p.speedup << ", \"points_per_second\": "
-             << p.points_per_second << ", \"simulations\": " << p.simulations
-             << ", \"cache_hits\": " << p.cache_hits << "}" << (i + 1 < curve.size() ? "," : "")
-             << "\n";
+        json << (i ? ", " : "") << "{\"threads\": " << p.threads
+             << ", \"wall_seconds\": " << p.wall_seconds << ", \"speedup\": " << p.speedup
+             << ", \"points_per_second\": " << p.points_per_second
+             << ", \"simulations\": " << p.simulations << ", \"cache_hits\": " << p.cache_hits
+             << "}";
     }
-    json << "  ]\n}\n";
-    std::cout << "Curve written to BENCH_T6_PARALLEL.json\n";
+    json << "]}";
+    const std::string written = append_history_line("t6_parallel.jsonl", json.str());
+    if (written.empty()) {
+        std::cout << "WARNING: could not append to the bench/history ledger\n";
+    } else {
+        std::cout << "Curve appended to " << written << "\n";
+    }
 
     return all_identical ? 0 : 1;
 }

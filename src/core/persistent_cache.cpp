@@ -1,0 +1,150 @@
+#include "core/persistent_cache.hpp"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace ehdoe::core {
+
+namespace {
+
+constexpr char kMagic[7] = {'E', 'H', 'D', 'O', 'E', 'C', '\0'};
+constexpr std::uint8_t kFormatVersion = 1;
+// Guards against nonsense lengths from corrupt files before any allocation.
+constexpr std::uint64_t kSaneLimit = 1u << 24;
+
+bool read_u64(std::istream& in, std::uint64_t& v) {
+    return static_cast<bool>(in.read(reinterpret_cast<char*>(&v), sizeof v));
+}
+
+void write_u64(std::ostream& out, std::uint64_t v) {
+    out.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+}  // namespace
+
+PersistentCache::PersistentCache(std::shared_ptr<EvalBackend> inner, std::string path,
+                                 std::string fingerprint, bool autosave)
+    : inner_(std::move(inner)),
+      path_(std::move(path)),
+      fingerprint_(std::move(fingerprint)),
+      autosave_(autosave) {
+    if (!inner_) throw std::invalid_argument("PersistentCache: inner backend required");
+    if (path_.empty()) throw std::invalid_argument("PersistentCache: cache path required");
+    load();
+}
+
+PersistentCache::~PersistentCache() {
+    if (autosave_) save();  // best effort; a failed snapshot only costs warmth
+}
+
+void PersistentCache::load() {
+    std::ifstream in(path_, std::ios::binary);
+    if (!in) return;  // no snapshot yet: cold cache
+
+    char magic[sizeof kMagic];
+    std::uint8_t version = 0;
+    if (!in.read(magic, sizeof magic) || std::memcmp(magic, kMagic, sizeof kMagic) != 0) return;
+    if (!in.read(reinterpret_cast<char*>(&version), 1) || version != kFormatVersion) return;
+
+    std::uint64_t fp_len = 0;
+    if (!read_u64(in, fp_len) || fp_len > kSaneLimit) return;
+    std::string fp(static_cast<std::size_t>(fp_len), '\0');
+    if (!in.read(fp.data(), static_cast<std::streamsize>(fp.size()))) return;
+    if (fp != fingerprint_) return;  // different simulation: invalidate
+
+    std::uint64_t n_entries = 0;
+    if (!read_u64(in, n_entries) || n_entries > kSaneLimit) return;
+
+    // Parse into a staging table: a truncated or corrupt tail must not leave
+    // a half-restored cache behind.
+    std::map<std::vector<double>, ResponseMap> staged;
+    for (std::uint64_t e = 0; e < n_entries; ++e) {
+        std::uint64_t dim = 0;
+        if (!read_u64(in, dim) || dim > kSaneLimit) return;
+        std::vector<double> key(static_cast<std::size_t>(dim));
+        if (!in.read(reinterpret_cast<char*>(key.data()),
+                     static_cast<std::streamsize>(sizeof(double) * key.size())))
+            return;
+
+        std::uint64_t n_resp = 0;
+        if (!read_u64(in, n_resp) || n_resp > kSaneLimit) return;
+        ResponseMap responses;
+        for (std::uint64_t r = 0; r < n_resp; ++r) {
+            std::uint64_t len = 0;
+            if (!read_u64(in, len) || len > kSaneLimit) return;
+            std::string name(static_cast<std::size_t>(len), '\0');
+            double value = 0.0;
+            if (!in.read(name.data(), static_cast<std::streamsize>(name.size()))) return;
+            if (!in.read(reinterpret_cast<char*>(&value), sizeof value)) return;
+            responses.emplace(std::move(name), value);
+        }
+        staged.emplace(std::move(key), std::move(responses));
+    }
+
+    table_ = std::move(staged);
+    restored_ = true;
+}
+
+bool PersistentCache::save() const {
+    const std::string tmp = path_ + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out) return false;
+        out.write(kMagic, sizeof kMagic);
+        out.write(reinterpret_cast<const char*>(&kFormatVersion), 1);
+        write_u64(out, fingerprint_.size());
+        out.write(fingerprint_.data(), static_cast<std::streamsize>(fingerprint_.size()));
+        write_u64(out, table_.size());
+        for (const auto& [key, responses] : table_) {
+            write_u64(out, key.size());
+            out.write(reinterpret_cast<const char*>(key.data()),
+                      static_cast<std::streamsize>(sizeof(double) * key.size()));
+            write_u64(out, responses.size());
+            for (const auto& [name, value] : responses) {
+                write_u64(out, name.size());
+                out.write(name.data(), static_cast<std::streamsize>(name.size()));
+                out.write(reinterpret_cast<const char*>(&value), sizeof value);
+            }
+        }
+        if (!out) return false;
+    }
+    if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+std::vector<ResponseMap> PersistentCache::evaluate(const std::vector<Vector>& points) {
+    const std::size_t n = points.size();
+    std::vector<ResponseMap> out(n);
+
+    std::vector<Vector> misses;
+    std::vector<std::size_t> miss_index;
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::vector<double> key(points[i].begin(), points[i].end());
+        if (const auto hit = table_.find(key); hit != table_.end()) {
+            out[i] = hit->second;
+            ++hits_;
+        } else {
+            misses.push_back(points[i]);
+            miss_index.push_back(i);
+        }
+    }
+
+    if (!misses.empty()) {
+        // A throwing inner backend commits nothing: the table keeps only
+        // results that were actually produced.
+        std::vector<ResponseMap> fresh = inner_->evaluate(misses);
+        for (std::size_t m = 0; m < misses.size(); ++m) {
+            table_[std::vector<double>(misses[m].begin(), misses[m].end())] = fresh[m];
+            out[miss_index[m]] = std::move(fresh[m]);
+        }
+    }
+    return out;
+}
+
+}  // namespace ehdoe::core

@@ -1,6 +1,8 @@
 #include "core/report.hpp"
 
 #include <algorithm>
+#include <filesystem>
+#include <fstream>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
@@ -116,6 +118,25 @@ std::string format_seconds(double seconds) {
         os << seconds << " s";
     }
     return os.str();
+}
+
+std::string append_history_line(const std::string& file, const std::string& line) {
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::path target = file;  // fallback: CWD, e.g. a bare build tree
+    for (fs::path dir = fs::current_path(ec); !ec && !dir.empty(); dir = dir.parent_path()) {
+        const fs::path candidate = dir / "bench" / "history";
+        std::error_code probe;
+        if (fs::is_directory(candidate, probe)) {
+            target = candidate / file;
+            break;
+        }
+        if (dir == dir.root_path()) break;
+    }
+    std::ofstream out(target, std::ios::app);
+    if (!out) return {};
+    out << line << '\n';
+    return out ? target.string() : std::string{};
 }
 
 }  // namespace ehdoe::core

@@ -51,4 +51,11 @@ std::string format_double(double value, int precision = 4);
 /// Format seconds with an adaptive unit (ns/us/ms/s).
 std::string format_seconds(double seconds);
 
+/// Append one line to the tracked perf-trajectory ledger
+/// `bench/history/<file>`, resolving the directory by walking up from the
+/// current working directory (benches run from build/). Falls back to
+/// `./<file>` when no bench/history directory exists up-tree. Returns the
+/// path written, or an empty string on I/O failure.
+std::string append_history_line(const std::string& file, const std::string& line);
+
 }  // namespace ehdoe::core

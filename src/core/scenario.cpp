@@ -1,6 +1,7 @@
-#include <algorithm>
 #include "core/scenario.hpp"
 
+#include <algorithm>
+#include <cstdio>
 #include <stdexcept>
 
 namespace ehdoe::core {
@@ -116,6 +117,14 @@ doe::Simulation Scenario::make_simulation() const {
         node::NodeSimConfig cfg = self.configure(natural);
         return responses_from_metrics(node::simulate_node(cfg));
     };
+}
+
+std::string Scenario::fingerprint() const {
+    // The model revision must be bumped whenever the co-simulation's
+    // numerics change: stale persisted responses would otherwise survive.
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "/duration=%.6f/model=1", duration_);
+    return "ehdoe/" + name_ + buf;
 }
 
 std::map<std::string, double> responses_from_metrics(const node::NodeMetrics& m) {

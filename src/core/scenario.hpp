@@ -73,6 +73,11 @@ public:
     /// co-simulation and returns all canonical responses.
     doe::Simulation make_simulation() const;
 
+    /// Canonical identity of make_simulation() for persistent evaluation
+    /// caches (scenario, horizon, model revision): two processes with equal
+    /// fingerprints may share cached responses.
+    std::string fingerprint() const;
+
 private:
     ScenarioId id_;
     std::string name_;

@@ -1,0 +1,309 @@
+#include "core/subprocess_backend.hpp"
+
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+
+#include "core/thread_pool.hpp"
+
+namespace ehdoe::core {
+
+namespace {
+
+// Parent-side command sockets of *every* live SubprocessBackend in this
+// process. A worker forked later inherits the earlier backends' parent fds;
+// unless the child closes them, those workers would never see EOF when their
+// own backend shuts down. Registered here so every fresh child can drop all
+// of them.
+std::mutex g_parent_fds_mutex;
+std::set<int> g_parent_fds;
+
+bool read_exact(int fd, void* buf, std::size_t len) {
+    auto* p = static_cast<unsigned char*>(buf);
+    while (len > 0) {
+        const ssize_t r = ::recv(fd, p, len, 0);
+        if (r > 0) {
+            p += r;
+            len -= static_cast<std::size_t>(r);
+            continue;
+        }
+        if (r < 0 && (errno == EINTR)) continue;
+        return false;  // EOF or hard error: the peer is gone
+    }
+    return true;
+}
+
+bool write_all(int fd, const void* buf, std::size_t len) {
+    const auto* p = static_cast<const unsigned char*>(buf);
+    while (len > 0) {
+        // MSG_NOSIGNAL: a dead peer must surface as EPIPE, not SIGPIPE.
+        const ssize_t w = ::send(fd, p, len, MSG_NOSIGNAL);
+        if (w > 0) {
+            p += w;
+            len -= static_cast<std::size_t>(w);
+            continue;
+        }
+        if (w < 0 && errno == EINTR) continue;
+        return false;
+    }
+    return true;
+}
+
+bool write_u64(int fd, std::uint64_t v) { return write_all(fd, &v, sizeof v); }
+bool read_u64(int fd, std::uint64_t& v) { return read_exact(fd, &v, sizeof v); }
+
+constexpr std::uint64_t kStatusOk = 0;
+constexpr std::uint64_t kStatusError = 1;
+
+/// The child's whole life: serve request frames until EOF. Never returns.
+[[noreturn]] void worker_loop(int fd, const Simulation& sim, std::size_t replicates) {
+    for (;;) {
+        std::uint64_t dim = 0;
+        if (!read_u64(fd, dim)) ::_exit(0);  // parent closed: clean shutdown
+        Vector point(static_cast<std::size_t>(dim));
+        if (!read_exact(fd, point.data(), sizeof(double) * point.size())) ::_exit(0);
+
+        bool ok = false;
+        ResponseMap result;
+        std::string error;
+        try {
+            result = simulate_replicated(sim, point, replicates);
+            ok = true;
+        } catch (const std::exception& e) {
+            error = e.what();
+        } catch (...) {
+            error = "unknown exception in worker simulation";
+        }
+
+        bool sent = write_u64(fd, ok ? kStatusOk : kStatusError);
+        if (sent && ok) {
+            sent = write_u64(fd, result.size());
+            for (const auto& [name, value] : result) {
+                if (!sent) break;
+                sent = write_u64(fd, name.size()) && write_all(fd, name.data(), name.size()) &&
+                       write_all(fd, &value, sizeof value);
+            }
+        } else if (sent) {
+            sent = write_u64(fd, error.size()) && write_all(fd, error.data(), error.size());
+        }
+        if (!sent) ::_exit(2);  // parent vanished mid-frame
+    }
+}
+
+}  // namespace
+
+SubprocessBackend::SubprocessBackend(Simulation sim, BackendOptions options)
+    : sim_(std::move(sim)), options_(std::move(options)) {
+    if (!sim_) throw std::invalid_argument("SubprocessBackend: simulation required");
+    if (options_.replicates == 0)
+        throw std::invalid_argument("SubprocessBackend: replicates >= 1");
+    const std::size_t n =
+        options_.threads == 0 ? ThreadPool::hardware_threads() : options_.threads;
+    workers_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) spawn_worker(options_.replicates);
+}
+
+void SubprocessBackend::spawn_worker(std::size_t replicates) {
+    int fds[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0)
+        throw std::runtime_error("SubprocessBackend: socketpair failed");
+
+    // Flush stdio so the child does not replay buffered output.
+    std::fflush(stdout);
+    std::fflush(stderr);
+
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        ::close(fds[0]);
+        ::close(fds[1]);
+        throw std::runtime_error("SubprocessBackend: fork failed");
+    }
+    if (pid == 0) {
+        // Child: drop every parent-side command socket in the process (its
+        // own pair's parent end included), keep only its worker end.
+        {
+            std::lock_guard<std::mutex> lock(g_parent_fds_mutex);
+            for (const int fd : g_parent_fds) ::close(fd);
+        }
+        ::close(fds[0]);
+        worker_loop(fds[1], sim_, replicates);
+    }
+
+    // Parent.
+    ::close(fds[1]);
+    {
+        std::lock_guard<std::mutex> lock(g_parent_fds_mutex);
+        g_parent_fds.insert(fds[0]);
+    }
+    Worker w;
+    w.pid = pid;
+    w.fd = fds[0];
+    w.alive = true;
+    workers_.push_back(w);
+}
+
+void SubprocessBackend::retire(Worker& w) {
+    if (w.fd >= 0) {
+        {
+            std::lock_guard<std::mutex> lock(g_parent_fds_mutex);
+            g_parent_fds.erase(w.fd);
+        }
+        ::close(w.fd);
+        w.fd = -1;
+    }
+    if (w.pid > 0) {
+        int status = 0;
+        ::waitpid(w.pid, &status, 0);
+        w.pid = -1;
+    }
+    w.alive = false;
+}
+
+SubprocessBackend::~SubprocessBackend() {
+    for (auto& w : workers_) retire(w);
+}
+
+std::size_t SubprocessBackend::live_workers() const {
+    std::size_t n = 0;
+    for (const auto& w : workers_) n += w.alive ? 1 : 0;
+    return n;
+}
+
+std::vector<ResponseMap> SubprocessBackend::evaluate(const std::vector<Vector>& points) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::size_t n = points.size();
+    std::vector<ResponseMap> out(n);
+    if (n == 0) return out;
+    if (live_workers() == 0)
+        throw std::runtime_error("SubprocessBackend: no live workers");
+
+    // Each point round-trip is one dispatch unit ("batch") here; progress
+    // reports fire per completed point, serialized across drivers.
+    std::mutex progress_mutex;
+    std::size_t points_done = 0;
+    auto report_point = [&] {
+        std::lock_guard<std::mutex> lock(progress_mutex);
+        const std::size_t index = points_done++;
+        if (!options_.on_batch) return;
+        BatchProgress p;
+        p.batch_index = index;
+        p.batch_count = n;
+        p.points_done = points_done;
+        p.points_total = n;
+        p.elapsed_seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+        p.points_per_second =
+            p.elapsed_seconds > 0.0 ? static_cast<double>(points_done) / p.elapsed_seconds : 0.0;
+        options_.on_batch(p);
+    };
+
+    // One dispatcher thread per live worker pulls point indices from a
+    // shared counter and does synchronous request/response round-trips on
+    // its worker's socket. Results land by index, so scheduling cannot
+    // reorder anything; once any point fails, the remaining queue is
+    // abandoned (in-flight round-trips drain) and the first failure in
+    // input order is thrown.
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::atomic<std::size_t> simulations_done{0};
+    std::atomic<std::size_t> dispatched{0};
+    std::vector<std::string> errors(n);
+    std::vector<unsigned char> has_error(n, 0);
+    // A throwing user progress callback must not escape a driver thread
+    // (std::terminate); park it per point and rethrow in input order.
+    std::vector<std::exception_ptr> callback_errors(n);
+
+    auto drive_worker = [&](Worker& w) {
+        while (!failed.load(std::memory_order_relaxed)) {
+            const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n) return;
+            dispatched.fetch_add(1, std::memory_order_relaxed);
+            const Vector& p = points[i];
+
+            bool io_ok = write_u64(w.fd, p.size()) &&
+                         write_all(w.fd, p.data(), sizeof(double) * p.size());
+            std::uint64_t status = kStatusError;
+            if (io_ok) io_ok = read_u64(w.fd, status);
+
+            if (io_ok && status == kStatusOk) {
+                std::uint64_t n_resp = 0;
+                io_ok = read_u64(w.fd, n_resp);
+                ResponseMap r;
+                for (std::uint64_t j = 0; io_ok && j < n_resp; ++j) {
+                    std::uint64_t len = 0;
+                    io_ok = read_u64(w.fd, len);
+                    std::string name(static_cast<std::size_t>(len), '\0');
+                    double value = 0.0;
+                    if (io_ok) io_ok = read_exact(w.fd, name.data(), name.size());
+                    if (io_ok) io_ok = read_exact(w.fd, &value, sizeof value);
+                    if (io_ok) r.emplace(std::move(name), value);
+                }
+                if (io_ok) {
+                    out[i] = std::move(r);
+                    simulations_done.fetch_add(options_.replicates, std::memory_order_relaxed);
+                    try {
+                        report_point();
+                    } catch (...) {
+                        callback_errors[i] = std::current_exception();
+                        failed.store(true, std::memory_order_relaxed);
+                    }
+                    continue;
+                }
+            } else if (io_ok && status == kStatusError) {
+                std::uint64_t len = 0;
+                io_ok = read_u64(w.fd, len);
+                std::string msg(static_cast<std::size_t>(len), '\0');
+                if (io_ok) io_ok = read_exact(w.fd, msg.data(), msg.size());
+                if (io_ok) {
+                    errors[i] = "SubprocessBackend: simulation failed at point " +
+                                std::to_string(i) + ": " + msg;
+                    has_error[i] = 1;
+                    failed.store(true, std::memory_order_relaxed);
+                    continue;  // worker is fine, only the simulation threw
+                }
+            }
+
+            // Broken frame or dead peer: the worker crashed mid-point.
+            errors[i] = "SubprocessBackend: worker (pid " + std::to_string(w.pid) +
+                        ") died while evaluating point " + std::to_string(i);
+            has_error[i] = 1;
+            failed.store(true, std::memory_order_relaxed);
+            w.alive = false;
+            return;
+        }
+    };
+
+    std::vector<std::thread> drivers;
+    drivers.reserve(workers_.size());
+    for (auto& w : workers_) {
+        if (w.alive) drivers.emplace_back([&drive_worker, &w] { drive_worker(w); });
+    }
+    for (auto& t : drivers) t.join();
+
+    // Reap crashed workers promptly (their sockets stay closed for good).
+    for (auto& w : workers_) {
+        if (!w.alive && w.fd >= 0) retire(w);
+    }
+
+    simulations_ += simulations_done.load(std::memory_order_relaxed);
+    batches_ += dispatched.load(std::memory_order_relaxed);
+
+    for (std::size_t i = 0; i < n; ++i) {
+        if (callback_errors[i]) std::rethrow_exception(callback_errors[i]);
+        if (has_error[i]) throw std::runtime_error(errors[i]);
+    }
+    return out;
+}
+
+}  // namespace ehdoe::core

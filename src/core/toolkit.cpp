@@ -14,9 +14,12 @@ DesignFlow::DesignFlow(doe::DesignSpace space, doe::Simulation simulation, Optio
     : space_(std::move(space)), options_(std::move(options)) {
     if (!simulation) throw std::invalid_argument("DesignFlow: simulation required");
     doe::RunnerOptions ro;
+    ro.backend = options_.backend;
     ro.threads = options_.runner_threads;
     ro.batch_size = options_.runner_batch_size;
     ro.memoize = options_.memoize;
+    ro.cache_file = options_.cache_file;
+    ro.cache_fingerprint = options_.cache_fingerprint;
     ro.on_batch = options_.on_batch;
     runner_ = std::make_unique<doe::BatchRunner>(std::move(simulation), std::move(ro));
 }

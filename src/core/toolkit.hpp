@@ -55,7 +55,11 @@ public:
         /// axial points must stay on the cube.
         doe::CcdOptions ccd{doe::CcdVariant::FaceCentred, doe::CcdAlpha::Rotatable, 4, true};
         rsm::ModelOrder order = rsm::ModelOrder::Quadratic;
-        /// Worker threads of the batch evaluation engine; 0 = all hardware.
+        /// Evaluation backend of the batch engine: in-process thread pool
+        /// (default) or a pool of forked worker processes.
+        core::BackendKind backend = core::BackendKind::InProcess;
+        /// Workers (threads or processes) of the batch engine; 0 = all
+        /// hardware.
         std::size_t runner_threads = 1;
         /// Points per work batch; 0 = auto.
         std::size_t runner_batch_size = 0;
@@ -63,6 +67,14 @@ public:
         /// validation re-runs and confirmation of already-simulated points
         /// cost nothing.
         bool memoize = true;
+        /// Persistent evaluation cache file; non-empty lets repeated
+        /// CLI/CI runs of the same flow amortize simulations across
+        /// processes. Pair with `cache_fingerprint` (e.g.
+        /// Scenario::fingerprint()) to identify the simulation.
+        std::string cache_file;
+        /// Identity of the simulation behind `cache_file`; a mismatch
+        /// invalidates the snapshot.
+        std::string cache_fingerprint;
         /// Per-batch progress callback (throughput reporting).
         std::function<void(const doe::BatchProgress&)> on_batch;
         std::uint64_t seed = 2013;
@@ -89,6 +101,10 @@ public:
     const doe::BatchStats& batch_stats() const { return runner_->stats(); }
     /// Evaluations memoized so far.
     std::size_t cache_size() const { return runner_->cache_size(); }
+    /// The batch engine itself (backend inspection, ad-hoc evaluation).
+    doe::BatchRunner& runner() { return *runner_; }
+    /// Snapshot the persistent cache now (no-op without Options::cache_file).
+    bool save_cache() const { return runner_->save_cache(); }
 
     // ---- phase 3: fit ------------------------------------------------------
     /// Fit (and cache) the RSM of a named response.

@@ -1,14 +1,10 @@
 #include "doe/batch_runner.hpp"
 
-#include <algorithm>
-#include <atomic>
 #include <chrono>
-#include <exception>
-#include <future>
-#include <mutex>
 #include <stdexcept>
+#include <utility>
 
-#include "core/thread_pool.hpp"
+#include "core/persistent_cache.hpp"
 
 namespace ehdoe::doe {
 
@@ -23,166 +19,137 @@ std::vector<double> cache_key(const Vector& natural) {
 }  // namespace
 
 BatchRunner::BatchRunner(Simulation sim, RunnerOptions options)
-    : sim_(std::move(sim)), options_(std::move(options)) {
-    if (!sim_) throw std::invalid_argument("BatchRunner: simulation required");
+    : options_(std::move(options)) {
+    if (!sim) throw std::invalid_argument("BatchRunner: simulation required");
     if (options_.replicates == 0) throw std::invalid_argument("BatchRunner: replicates >= 1");
-    threads_ = options_.threads == 0 ? core::ThreadPool::hardware_threads() : options_.threads;
+
+    core::BackendOptions bo;
+    bo.threads = options_.threads;
+    bo.batch_size = options_.batch_size;
+    bo.replicates = options_.replicates;
+    if (options_.on_batch) {
+        // Fold the orchestrator's memo hits of the call in flight into the
+        // backend's progress reports (backends only see unique misses).
+        bo.on_batch = [this](const BatchProgress& p) {
+            BatchProgress q = p;
+            q.cache_hits = call_hits_;
+            options_.on_batch(q);
+        };
+    }
+    backend_ = core::make_backend(std::move(sim), options_.backend, bo);
+    if (!options_.cache_file.empty()) {
+        // The replicate count is part of the cache identity: entries hold
+        // replicate-averaged responses, which a run with a different count
+        // must never silently reuse.
+        auto cached = std::make_shared<core::PersistentCache>(
+            std::move(backend_), options_.cache_file,
+            options_.cache_fingerprint + "/replicates=" + std::to_string(options_.replicates));
+        persistent_ = cached.get();
+        backend_ = std::move(cached);
+    }
+}
+
+BatchRunner::BatchRunner(std::shared_ptr<core::EvalBackend> backend, RunnerOptions options)
+    : options_(std::move(options)), backend_(std::move(backend)) {
+    if (!backend_) throw std::invalid_argument("BatchRunner: backend required");
+    persistent_ = dynamic_cast<core::PersistentCache*>(backend_.get());
 }
 
 BatchRunner::~BatchRunner() = default;
 
-ResponseMap BatchRunner::simulate_once(const Vector& natural) const {
-    ResponseMap acc;
-    for (std::size_t r = 0; r < options_.replicates; ++r) {
-        ResponseMap one = sim_(natural);
-        if (one.empty()) throw std::runtime_error("BatchRunner: simulation returned nothing");
-        for (const auto& [k, v] : one) acc[k] += v;
-    }
-    for (auto& [k, v] : acc) v /= static_cast<double>(options_.replicates);
-    return acc;
-}
+std::size_t BatchRunner::threads() const { return backend_->concurrency(); }
 
-std::vector<ResponseMap> BatchRunner::evaluate(const Matrix& natural) {
+bool BatchRunner::save_cache() const { return persistent_ ? persistent_->save() : false; }
+
+std::vector<ResponseMap> BatchRunner::evaluate_rows(const std::vector<Vector>& rows) {
     const auto t0 = std::chrono::steady_clock::now();
-    const std::size_t n = natural.rows();
+    const std::size_t n = rows.size();
     std::vector<ResponseMap> out(n);
 
-    // Phase 1: resolve every row to either a cached result or a slot in the
-    // pending work list. Duplicates within the call collapse onto one slot,
-    // so centre replicates cost one simulation even on a cold cache.
-    struct Pending {
-        Vector point;
-        ResponseMap result;
-    };
-    std::vector<Pending> pending;
+    // Phase 1: resolve every row to either a memoized result or a slot in
+    // the pending work list. Duplicates within the call collapse onto one
+    // slot, so centre replicates cost one simulation even on a cold cache.
+    std::vector<Vector> pending;
     // Row -> (pending slot) or (direct result already placed in `out`).
     constexpr std::size_t kResolved = static_cast<std::size_t>(-1);
     std::vector<std::size_t> slot_of(n, kResolved);
     std::map<std::vector<double>, std::size_t> seen;  // key -> pending slot
-    std::size_t call_cache_hits = 0;
+    call_hits_ = 0;
 
     for (std::size_t i = 0; i < n; ++i) {
-        const Vector point = natural.row(i);
+        const Vector& point = rows[i];
         if (!options_.memoize) {
             slot_of[i] = pending.size();
-            pending.push_back({point, {}});
+            pending.push_back(point);
             continue;
         }
         std::vector<double> key = cache_key(point);
         if (const auto hit = cache_.find(key); hit != cache_.end()) {
             out[i] = hit->second;
-            ++call_cache_hits;
+            ++call_hits_;
             continue;
         }
         if (const auto dup = seen.find(key); dup != seen.end()) {
             slot_of[i] = dup->second;
-            ++call_cache_hits;
+            ++call_hits_;
             continue;
         }
         seen.emplace(std::move(key), pending.size());
         slot_of[i] = pending.size();
-        pending.push_back({point, {}});
+        pending.push_back(point);
     }
 
-    // Phase 2: chunk the pending points into batches and execute. Each
-    // batch is one pool task; a point is evaluated serially inside exactly
-    // one task, so responses are bitwise identical for any thread count.
-    const std::size_t n_pending = pending.size();
-    std::size_t batch_size = options_.batch_size;
-    if (batch_size == 0) {
-        // Aim for ~4 batches per worker: coarse enough to amortize dispatch,
-        // fine enough that progress reporting stays informative.
-        batch_size = std::max<std::size_t>(1, (n_pending + 4 * threads_ - 1) /
-                                                  std::max<std::size_t>(1, 4 * threads_));
-    }
-    const std::size_t n_batches = n_pending == 0 ? 0 : (n_pending + batch_size - 1) / batch_size;
+    // Phase 2: hand the unique misses to the backend. Its lifetime ledgers
+    // (simulations actually run, backend-level cache hits, batches) are read
+    // as deltas around the call so the orchestrator's stats aggregate every
+    // layer of the stack — including when the backend throws.
+    const std::size_t sims_before = backend_->simulations();
+    const std::size_t bhits_before = backend_->cache_hits();
+    const std::size_t batches_before = backend_->batches();
 
-    std::mutex progress_mutex;
-    std::size_t points_done = 0;
-    std::size_t batches_done = 0;
-    auto report_batch = [&](std::size_t batch_points) {
-        std::lock_guard<std::mutex> lock(progress_mutex);
-        points_done += batch_points;
-        const std::size_t index = batches_done++;
-        if (!options_.on_batch) return;
-        BatchProgress p;
-        p.batch_index = index;
-        p.batch_count = n_batches;
-        p.points_done = points_done;
-        p.points_total = n_pending;
-        p.cache_hits = call_cache_hits;
-        p.elapsed_seconds =
+    auto account = [&] {
+        stats_.points += n;
+        stats_.simulations += backend_->simulations() - sims_before;
+        stats_.cache_hits += call_hits_ + (backend_->cache_hits() - bhits_before);
+        stats_.batches += backend_->batches() - batches_before;
+        stats_.wall_seconds +=
             std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
-        p.points_per_second =
-            p.elapsed_seconds > 0.0 ? static_cast<double>(points_done) / p.elapsed_seconds : 0.0;
-        options_.on_batch(p);
     };
 
-    // Batches never throw out of the task: errors (from the simulation or
-    // the user's progress callback) are parked per batch so every in-flight
-    // task can drain before the first failure is rethrown. Batches that
-    // have not started yet bail out once any batch has failed — a throwing
-    // simulation must not burn the rest of a large design.
-    std::vector<std::exception_ptr> batch_errors(n_batches);
-    std::atomic<bool> failed{false};
-    std::atomic<std::size_t> simulations_done{0};
-    auto run_batch = [&](std::size_t b) noexcept {
-        if (failed.load(std::memory_order_relaxed)) return;
-        const std::size_t begin = b * batch_size;
-        const std::size_t end = std::min(begin + batch_size, n_pending);
-        try {
-            for (std::size_t s = begin; s < end; ++s) {
-                pending[s].result = simulate_once(pending[s].point);
-                simulations_done.fetch_add(options_.replicates, std::memory_order_relaxed);
-            }
-            report_batch(end - begin);
-        } catch (...) {
-            batch_errors[b] = std::current_exception();
-            failed.store(true, std::memory_order_relaxed);
-        }
-    };
-
-    if (threads_ <= 1 || n_batches <= 1) {
-        for (std::size_t b = 0; b < n_batches; ++b) run_batch(b);
-    } else {
-        if (!pool_) pool_ = std::make_unique<core::ThreadPool>(threads_);
-        std::vector<std::future<void>> futures;
-        futures.reserve(n_batches);
-        for (std::size_t b = 0; b < n_batches; ++b) {
-            futures.push_back(pool_->submit([&run_batch, b] { run_batch(b); }));
-        }
-        // Wait for *all* batches before looking at errors: tasks reference
-        // stack state, so nothing may outlive this scope.
-        for (auto& f : futures) f.get();
+    std::vector<ResponseMap> fresh;
+    try {
+        fresh = backend_->evaluate(pending);
+    } catch (...) {
+        account();  // a failed run still spent simulator time
+        throw;
     }
+    account();
 
-    stats_.points += n;
-    stats_.simulations += simulations_done.load(std::memory_order_relaxed);
-    stats_.cache_hits += call_cache_hits;
-    stats_.batches += n_batches;
-    stats_.wall_seconds +=
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
-
-    // Rethrow the first failure in batch (= design) order: deterministic
-    // error reporting under any scheduling.
-    for (const auto& err : batch_errors) {
-        if (err) std::rethrow_exception(err);
-    }
-
-    // Phase 3: commit to the cache and scatter into design order.
+    // Phase 3: commit to the memo table and scatter into design order.
     if (options_.memoize) {
-        for (const auto& p : pending) cache_[cache_key(p.point)] = p.result;
+        for (std::size_t s = 0; s < pending.size(); ++s) {
+            cache_[cache_key(pending[s])] = fresh[s];
+        }
     }
     for (std::size_t i = 0; i < n; ++i) {
-        if (slot_of[i] != kResolved) out[i] = pending[slot_of[i]].result;
+        if (slot_of[i] != kResolved) out[i] = fresh[slot_of[i]];
     }
     return out;
 }
 
+std::vector<ResponseMap> BatchRunner::evaluate(const std::vector<Vector>& natural) {
+    return evaluate_rows(natural);
+}
+
+std::vector<ResponseMap> BatchRunner::evaluate(const Matrix& natural) {
+    std::vector<Vector> rows;
+    rows.reserve(natural.rows());
+    for (std::size_t i = 0; i < natural.rows(); ++i) rows.push_back(natural.row(i));
+    return evaluate_rows(rows);
+}
+
 ResponseMap BatchRunner::evaluate_point(const Vector& natural) {
-    Matrix one(1, natural.size());
-    one.set_row(0, natural);
-    return evaluate(one)[0];
+    return evaluate_rows({natural})[0];
 }
 
 RunResults BatchRunner::run_points(const DesignSpace& space, const Matrix& coded_points) {

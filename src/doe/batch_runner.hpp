@@ -1,20 +1,22 @@
 // ehdoe/doe/batch_runner.hpp
 //
-// The batch evaluation engine: the one place in the toolkit where simulator
-// time is actually spent. A BatchRunner owns a Simulation plus a fixed-size
-// thread pool and turns matrices of design points into response matrices:
+// The batch evaluation orchestrator: the one place in the toolkit where
+// simulator time is accounted for. A BatchRunner turns matrices of design
+// points into response matrices on top of a pluggable core::EvalBackend
+// (in-process thread pool, forked worker processes, persistent on-disk
+// cache — see core/eval_backend.hpp). The orchestrator owns what is common
+// to every execution strategy:
 //
 //  * deterministic — results land in design order and are bitwise identical
-//    regardless of thread count, because every unique point is evaluated
-//    exactly once, serially within one task;
+//    regardless of backend or worker count, because every unique point is
+//    evaluated exactly once, serially within one worker;
 //  * memoized — evaluations are cached keyed on the exact natural-unit
 //    vector, so CCD centre replicates, validation re-runs and optimizer
 //    confirmation visits of already-simulated points are free;
-//  * batched — unique points are chunked into work batches dispatched on
-//    the pool, with a progress/throughput callback per completed batch;
-//  * exception-correct — a throwing Simulation aborts the run after all
-//    in-flight batches drain, and the first failure in batch order is
-//    rethrown to the caller.
+//  * accounted — lifetime counters (simulations, cache hits, batches, wall
+//    time) aggregate the backend's ledgers with the in-memory memo table;
+//  * exception-correct — a failing point aborts the run after in-flight
+//    work drains, and the first failure in design order reaches the caller.
 //
 // The free functions run_design()/run_points() in runner.hpp are thin
 // wrappers over a per-call BatchRunner; core::DesignFlow holds a persistent
@@ -29,28 +31,31 @@
 #include "doe/runner.hpp"
 
 namespace ehdoe::core {
-class ThreadPool;
+class PersistentCache;
 }
 
 namespace ehdoe::doe {
-
-/// Named responses of one simulation (replicate-averaged).
-using ResponseMap = std::map<std::string, double>;
 
 /// Lifetime counters of a BatchRunner (across all calls).
 struct BatchStats {
     std::size_t points = 0;        ///< design points requested
     std::size_t simulations = 0;   ///< simulator invocations performed
     std::size_t cache_hits = 0;    ///< points served without simulating
-    std::size_t batches = 0;       ///< work batches dispatched
+    std::size_t batches = 0;       ///< work batches dispatched by the backend
     double wall_seconds = 0.0;     ///< total time inside evaluate()
 };
 
 class BatchRunner {
 public:
-    /// Takes ownership of the simulation; options are fixed for the
-    /// runner's lifetime (the cache is only valid for one replicate count).
+    /// Takes ownership of the simulation and builds the backend stack the
+    /// options describe; options are fixed for the runner's lifetime (the
+    /// cache is only valid for one replicate count).
     explicit BatchRunner(Simulation sim, RunnerOptions options = {});
+    /// Orchestrate over an externally built backend (tests, exotic stacks).
+    /// Backend-kind/cache fields and `on_batch` of `options` are ignored —
+    /// the stack, including any progress callback in its BackendOptions, is
+    /// whatever the caller composed.
+    BatchRunner(std::shared_ptr<core::EvalBackend> backend, RunnerOptions options = {});
     ~BatchRunner();
 
     BatchRunner(const BatchRunner&) = delete;
@@ -58,6 +63,9 @@ public:
 
     /// Evaluate every row of `natural` (natural units), in row order.
     std::vector<ResponseMap> evaluate(const Matrix& natural);
+    /// Same, for a list of natural-unit points (the opt::BatchObjective
+    /// bridge: GA/SA populations come in this shape).
+    std::vector<ResponseMap> evaluate(const std::vector<Vector>& natural);
 
     /// Evaluate a single natural-unit point (cached like any other).
     ResponseMap evaluate_point(const Vector& natural);
@@ -70,24 +78,33 @@ public:
 
     const RunnerOptions& options() const { return options_; }
     const BatchStats& stats() const { return stats_; }
-    /// Worker threads the runner resolved (0 in options -> hardware).
-    std::size_t threads() const { return threads_; }
+    /// Workers the backend resolved (0 in options -> hardware).
+    std::size_t threads() const;
+
+    /// The evaluation backend stack in use.
+    core::EvalBackend& backend() { return *backend_; }
+    const core::EvalBackend& backend() const { return *backend_; }
+
+    /// Snapshot the persistent cache layer now (also done on destruction).
+    /// Returns false when no persistent layer is configured or I/O failed.
+    bool save_cache() const;
 
     std::size_t cache_size() const { return cache_.size(); }
     void clear_cache() { cache_.clear(); }
 
 private:
-    /// Evaluate one point: replicate loop + averaging. Called off-thread.
-    ResponseMap simulate_once(const Vector& natural) const;
+    std::vector<ResponseMap> evaluate_rows(const std::vector<Vector>& rows);
 
-    Simulation sim_;
     RunnerOptions options_;
-    std::size_t threads_ = 1;
-    /// Created on first parallel call, then reused.
-    std::unique_ptr<core::ThreadPool> pool_;
+    std::shared_ptr<core::EvalBackend> backend_;
+    /// Non-owning view of the persistent layer inside backend_, if any.
+    core::PersistentCache* persistent_ = nullptr;
     /// Exact-match memoization cache; keys are the raw natural coordinates.
     std::map<std::vector<double>, ResponseMap> cache_;
     BatchStats stats_;
+    /// Orchestrator-level cache hits of the call in flight, folded into the
+    /// backend's progress reports.
+    std::size_t call_hits_ = 0;
 };
 
 }  // namespace ehdoe::doe

@@ -4,9 +4,10 @@
 // user-supplied simulation functor and collects the responses. This is the
 // bridge between the DoE combinatorics and the node co-simulation. The
 // free functions here are thin wrappers over the batch evaluation engine
-// (doe::BatchRunner, batch_runner.hpp): thread-pooled batched execution,
-// deterministic design-order results for any thread count, and — on by
-// default — memoization of repeated points (see RunnerOptions::memoize).
+// (doe::BatchRunner, batch_runner.hpp), which orchestrates dedup +
+// memoization on top of a pluggable core::EvalBackend: in-process
+// thread-pooled execution (default), a forked worker-process pool, and an
+// optional persistent on-disk cache layer (see RunnerOptions).
 #pragma once
 
 #include <functional>
@@ -14,25 +15,22 @@
 #include <string>
 #include <vector>
 
+#include "core/eval_backend.hpp"
 #include "doe/design.hpp"
 #include "numerics/stats.hpp"
 
 namespace ehdoe::doe {
 
-/// A simulation: natural-units factor vector -> named responses.
-using Simulation = std::function<std::map<std::string, double>(const Vector& natural)>;
+/// A simulation: natural-units factor vector -> named responses (shared
+/// vocabulary with the evaluation-backend layer).
+using Simulation = core::Simulation;
+
+/// Named responses of one simulation (replicate-averaged).
+using ResponseMap = core::ResponseMap;
 
 /// Snapshot handed to RunnerOptions::on_batch every time a work batch
 /// completes. Counters are scoped to the current evaluate()/run call.
-struct BatchProgress {
-    std::size_t batch_index = 0;      ///< completion order, 0-based
-    std::size_t batch_count = 0;      ///< batches in this call
-    std::size_t points_done = 0;      ///< unique points simulated so far
-    std::size_t points_total = 0;     ///< unique points this call must simulate
-    std::size_t cache_hits = 0;       ///< points served without simulating
-    double elapsed_seconds = 0.0;     ///< since the call started
-    double points_per_second = 0.0;   ///< throughput over elapsed_seconds
-};
+using BatchProgress = core::BatchProgress;
 
 /// Collected responses of a design execution, column-per-response.
 struct RunResults {
@@ -50,9 +48,13 @@ struct RunResults {
 };
 
 struct RunnerOptions {
-    /// Number of worker threads; 1 = serial, 0 = all hardware threads.
-    /// Simulations must be thread-safe pure functions of their input (all
-    /// toolkit simulations are).
+    /// Execution strategy: in-process thread pool (default) or a pool of
+    /// forked worker processes (the stepping stone to external HDL
+    /// co-simulations).
+    core::BackendKind backend = core::BackendKind::InProcess;
+    /// Number of workers (threads or processes); 1 = serial, 0 = all
+    /// hardware threads. Simulations must be thread-safe pure functions of
+    /// their input (all toolkit simulations are).
     std::size_t threads = 1;
     /// Replicates per design point (responses averaged; useful when the
     /// simulation itself is stochastic).
@@ -66,6 +68,15 @@ struct RunnerOptions {
     /// stochastic per call — with memoization on, replicated design points
     /// return identical copies, so they carry no pure-error information.
     bool memoize = true;
+    /// Persistent evaluation cache file; non-empty wraps the backend in a
+    /// core::PersistentCache so repeated runs amortize simulations across
+    /// processes. Pair with `cache_fingerprint` to identify the simulation.
+    std::string cache_file;
+    /// Identity of the simulation behind `cache_file` (scenario name,
+    /// horizon, ...); a mismatch invalidates the snapshot. The replicate
+    /// count is appended automatically — cached responses are
+    /// replicate-averaged and must not cross replicate settings.
+    std::string cache_fingerprint;
     /// Invoked after every completed batch (from worker threads, serialized).
     std::function<void(const BatchProgress&)> on_batch;
 };

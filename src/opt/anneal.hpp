@@ -19,9 +19,21 @@ struct AnnealOptions {
     double step_initial = 0.3;     ///< proposal sigma, box-width units
     double step_final = 0.01;
     std::uint64_t seed = 1234;
+    /// Independent chains run in lockstep: chain 0 starts at x0, later
+    /// chains at a uniform sample from their own RNG stream. Every move's
+    /// proposals (one per chain) are submitted as a single batch, so a
+    /// BatchObjective backed by the batch evaluation engine simulates them
+    /// in parallel. Each chain's trajectory depends only on its own stream,
+    /// so results are identical to running the chains one after another.
+    std::size_t restarts = 1;
 };
 
 OptResult simulated_annealing(const Objective& f, const Bounds& bounds, const Vector& x0,
+                              const AnnealOptions& options = {});
+
+/// Batch-parallel variant; bitwise-identical trajectories and evaluation
+/// counts to the scalar overload (which lifts into a serial batch).
+OptResult simulated_annealing(const BatchObjective& f, const Bounds& bounds, const Vector& x0,
                               const AnnealOptions& options = {});
 
 }  // namespace ehdoe::opt

@@ -8,23 +8,26 @@
 
 namespace ehdoe::opt {
 
-OptResult genetic_minimize(const Objective& f, const Bounds& bounds,
+// One implementation serves both overloads: the scalar path lifts its
+// objective into a serial batch, so the batch-parallel path is identical by
+// construction — same RNG draw order (child generation never consults
+// fitness of the generation being built), same evaluation count, same
+// trajectory for any backend that honours the BatchObjective contract.
+OptResult genetic_minimize(const BatchObjective& f, const Bounds& bounds,
                            const GeneticOptions& opt) {
     bounds.validate();
+    if (!f) throw std::invalid_argument("genetic_minimize: objective required");
     if (opt.population < 4) throw std::invalid_argument("genetic_minimize: population >= 4");
     if (opt.elites >= opt.population)
         throw std::invalid_argument("genetic_minimize: elites < population");
     const std::size_t k = bounds.dimension();
-    CountedObjective obj(f);
+    CountedBatchObjective obj(f);
     num::Rng rng = num::make_rng(opt.seed);
     auto unit = [&]() { return num::uniform(rng, 0.0, 1.0); };
 
     std::vector<Vector> pop(opt.population);
-    std::vector<double> fit(opt.population);
-    for (std::size_t i = 0; i < opt.population; ++i) {
-        pop[i] = bounds.sample(unit);
-        fit[i] = obj(pop[i]);
-    }
+    for (std::size_t i = 0; i < opt.population; ++i) pop[i] = bounds.sample(unit);
+    std::vector<double> fit = obj(pop);
 
     auto tournament_pick = [&]() -> std::size_t {
         std::size_t best = static_cast<std::size_t>(
@@ -58,7 +61,12 @@ OptResult genetic_minimize(const Objective& f, const Bounds& bounds,
             next_fit.push_back(fit[order[e]]);
         }
 
-        while (next.size() < opt.population) {
+        // Generate the whole brood first (selection and variation only read
+        // the *current* generation's fitness), then evaluate it as one
+        // batch — this is where a parallel backend earns its keep.
+        std::vector<Vector> brood;
+        brood.reserve(opt.population - next.size());
+        while (next.size() + brood.size() < opt.population) {
             const Vector& pa = pop[tournament_pick()];
             const Vector& pb = pop[tournament_pick()];
             Vector child(k);
@@ -80,10 +88,12 @@ OptResult genetic_minimize(const Objective& f, const Bounds& bounds,
                                             opt.mutation_sigma * (bounds.hi[g] - bounds.lo[g]));
                 }
             }
-            child = bounds.clamp(std::move(child));
-            const double fc = obj(child);
-            next.push_back(std::move(child));
-            next_fit.push_back(fc);
+            brood.push_back(bounds.clamp(std::move(child)));
+        }
+        const std::vector<double> brood_fit = obj(brood);
+        for (std::size_t c = 0; c < brood.size(); ++c) {
+            next.push_back(std::move(brood[c]));
+            next_fit.push_back(brood_fit[c]);
         }
         pop = std::move(next);
         fit = std::move(next_fit);
@@ -107,6 +117,12 @@ OptResult genetic_minimize(const Objective& f, const Bounds& bounds,
     res.evaluations = obj.count();
     if (res.iterations == opt.generations) res.converged = true;
     return res;
+}
+
+OptResult genetic_minimize(const Objective& f, const Bounds& bounds,
+                           const GeneticOptions& opt) {
+    if (!f) throw std::invalid_argument("genetic_minimize: objective required");
+    return genetic_minimize(lift(f), bounds, opt);
 }
 
 }  // namespace ehdoe::opt

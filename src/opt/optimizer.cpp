@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
 namespace ehdoe::opt {
 
@@ -42,6 +43,25 @@ Vector Bounds::sample(std::function<double()> unit_rand) const {
 
 Objective negated(Objective f) {
     return [f = std::move(f)](const Vector& x) { return -f(x); };
+}
+
+BatchObjective lift(Objective f) {
+    if (!f) throw std::invalid_argument("lift: objective required");
+    return [f = std::move(f)](const std::vector<Vector>& points) {
+        std::vector<double> values;
+        values.reserve(points.size());
+        for (const Vector& x : points) values.push_back(f(x));
+        return values;
+    };
+}
+
+std::vector<double> CountedBatchObjective::operator()(const std::vector<Vector>& points) const {
+    std::vector<double> values = f_(points);
+    if (values.size() != points.size())
+        throw std::runtime_error("BatchObjective returned " + std::to_string(values.size()) +
+                                 " values for " + std::to_string(points.size()) + " points");
+    count_.fetch_add(points.size(), std::memory_order_relaxed);
+    return values;
 }
 
 }  // namespace ehdoe::opt

@@ -13,8 +13,10 @@
 // invocations are the currency the paper's comparison is denominated in.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "numerics/matrix.hpp"
 
@@ -25,6 +27,16 @@ using num::Vector;
 
 /// Objective: R^k -> R, minimized.
 using Objective = std::function<double(const Vector&)>;
+
+/// Batch objective: evaluate many points in one call, values in input
+/// order. This is how the population heuristics (GA, SA restarts) submit
+/// whole generations to the batch evaluation engine (doe::BatchRunner /
+/// core::EvalBackend) instead of simulating one point at a time.
+using BatchObjective = std::function<std::vector<double>(const std::vector<Vector>&)>;
+
+/// Lift a scalar objective into a batch objective (evaluates serially, in
+/// input order — the reference semantics every parallel backend must match).
+BatchObjective lift(Objective f);
 
 /// Box constraints; defaults to the coded DoE cube [-1, 1]^k.
 struct Bounds {
@@ -48,20 +60,41 @@ struct OptResult {
     bool converged = false;
 };
 
-/// Wraps an objective and counts invocations (thread-compatible, not
-/// thread-safe: the optimizers here are serial).
+/// Wraps an objective and counts invocations. The counter is atomic:
+/// with batch-parallel population evaluation the objective is invoked from
+/// the evaluation backend's worker threads, and the count must still match
+/// the serial path exactly.
 class CountedObjective {
 public:
     explicit CountedObjective(Objective f) : f_(std::move(f)) {}
+    CountedObjective(const CountedObjective& other)
+        : f_(other.f_), count_(other.count_.load(std::memory_order_relaxed)) {}
+    CountedObjective& operator=(const CountedObjective&) = delete;
+
     double operator()(const Vector& x) const {
-        ++count_;
+        count_.fetch_add(1, std::memory_order_relaxed);
         return f_(x);
     }
-    std::size_t count() const { return count_; }
+    std::size_t count() const { return count_.load(std::memory_order_relaxed); }
 
 private:
     Objective f_;
-    mutable std::size_t count_ = 0;
+    mutable std::atomic<std::size_t> count_{0};
+};
+
+/// Batch counterpart of CountedObjective: counts one evaluation per point
+/// and enforces the size contract (a backend returning the wrong number of
+/// values is a bug, not a quiet truncation).
+class CountedBatchObjective {
+public:
+    explicit CountedBatchObjective(BatchObjective f) : f_(std::move(f)) {}
+
+    std::vector<double> operator()(const std::vector<Vector>& points) const;
+    std::size_t count() const { return count_.load(std::memory_order_relaxed); }
+
+private:
+    BatchObjective f_;
+    mutable std::atomic<std::size_t> count_{0};
 };
 
 /// Maximization adapter.

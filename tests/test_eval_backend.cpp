@@ -1,0 +1,362 @@
+// Evaluation-backend layer tests: cross-backend bitwise equivalence on the
+// S1 CCD, persistent-cache round-trip/invalidation/corruption recovery, and
+// subprocess failure semantics (sim errors and worker crashes surface as
+// clean errors in design order).
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include "core/eval_backend.hpp"
+#include "core/persistent_cache.hpp"
+#include "core/scenario.hpp"
+#include "core/subprocess_backend.hpp"
+#include "core/toolkit.hpp"
+#include "doe/batch_runner.hpp"
+#include "doe/composite.hpp"
+#include "doe/factorial.hpp"
+
+using namespace ehdoe;
+using namespace ehdoe::doe;
+using ehdoe::num::Vector;
+
+namespace {
+
+const DesignSpace kSpace({{"x", 0.0, 10.0, false}, {"y", -5.0, 5.0, false}});
+
+Simulation transcendental_sim() {
+    // Deliberately irrational arithmetic: bitwise comparisons below would
+    // catch any reordering of floating-point work across backends.
+    return [](const Vector& nat) {
+        const double x = nat[0], y = nat[1];
+        return std::map<std::string, double>{
+            {"f", std::sin(x) * std::exp(0.3 * y) + std::sqrt(x + 1.0)},
+            {"g", std::cos(x * y) / (1.0 + x * x)},
+        };
+    };
+}
+
+/// A scratch file path that dies with the test.
+class TempFile {
+public:
+    explicit TempFile(const std::string& stem) {
+        path_ = (std::filesystem::temp_directory_path() /
+                 (stem + "-" + std::to_string(::getpid()) + ".ehcache"))
+                    .string();
+        std::remove(path_.c_str());
+    }
+    ~TempFile() {
+        std::remove(path_.c_str());
+        std::remove((path_ + ".tmp").c_str());
+    }
+    const std::string& path() const { return path_; }
+
+private:
+    std::string path_;
+};
+
+RunnerOptions with(core::BackendKind kind, std::size_t workers) {
+    RunnerOptions o;
+    o.backend = kind;
+    o.threads = workers;
+    return o;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Cross-backend equivalence on the real scenario (the acceptance criterion):
+// the S1 CCD's responses are bitwise identical across InProcess (1 and N
+// threads), Subprocess, and a cold+warm persistent cache — and the warm run
+// is simulation-free.
+// ---------------------------------------------------------------------------
+TEST(EvalBackendEquivalence, S1CcdBitwiseIdenticalAcrossBackends) {
+    const core::Scenario sc = core::Scenario::make(core::ScenarioId::OfficeHvac, 30.0);
+    const DesignSpace space = sc.design_space();
+    const Design ccd = doe::central_composite(space.dimension());
+    TempFile cache("ehdoe-equiv");
+
+    const RunResults base =
+        BatchRunner(sc.make_simulation(), with(core::BackendKind::InProcess, 1))
+            .run_design(space, ccd);
+    EXPECT_EQ(base.design.runs(), 48u);
+    EXPECT_EQ(base.simulations, 45u);  // 4 centre replicates, 3 from the cache
+    EXPECT_EQ(base.cache_hits, 3u);
+
+    {
+        const RunResults threaded =
+            BatchRunner(sc.make_simulation(), with(core::BackendKind::InProcess, 4))
+                .run_design(space, ccd);
+        EXPECT_EQ(threaded.response_names, base.response_names);
+        EXPECT_TRUE(num::approx_equal(threaded.responses, base.responses, 0.0));
+    }
+    {
+        const RunResults forked =
+            BatchRunner(sc.make_simulation(), with(core::BackendKind::Subprocess, 2))
+                .run_design(space, ccd);
+        EXPECT_EQ(forked.response_names, base.response_names);
+        EXPECT_TRUE(num::approx_equal(forked.responses, base.responses, 0.0));
+        EXPECT_EQ(forked.simulations, 45u);
+    }
+    {
+        // Cold persistent run populates the snapshot on destruction...
+        RunnerOptions o = with(core::BackendKind::InProcess, 2);
+        o.cache_file = cache.path();
+        o.cache_fingerprint = sc.fingerprint();
+        const RunResults cold =
+            BatchRunner(sc.make_simulation(), o).run_design(space, ccd);
+        EXPECT_TRUE(num::approx_equal(cold.responses, base.responses, 0.0));
+        EXPECT_EQ(cold.simulations, 45u);
+    }
+    {
+        // ...and the warm run (a fresh runner: a new process in real use)
+        // serves the whole design without a single simulation.
+        RunnerOptions o = with(core::BackendKind::InProcess, 2);
+        o.cache_file = cache.path();
+        o.cache_fingerprint = sc.fingerprint();
+        BatchRunner warm(sc.make_simulation(), o);
+        const RunResults r = warm.run_design(space, ccd);
+        EXPECT_TRUE(num::approx_equal(r.responses, base.responses, 0.0));
+        EXPECT_EQ(r.simulations, 0u);
+        EXPECT_EQ(r.cache_hits, ccd.runs());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Subprocess backend
+// ---------------------------------------------------------------------------
+TEST(SubprocessBackend, MatchesInProcessBitwise) {
+    const Design d = full_factorial(2, 7);  // 49 distinct points
+    const RunResults base = BatchRunner(transcendental_sim()).run_design(kSpace, d);
+    const RunResults sub =
+        BatchRunner(transcendental_sim(), with(core::BackendKind::Subprocess, 3))
+            .run_design(kSpace, d);
+    EXPECT_TRUE(num::approx_equal(sub.responses, base.responses, 0.0));
+    EXPECT_EQ(sub.simulations, 49u);
+}
+
+TEST(SubprocessBackend, ReplicatesAverageInWorkers) {
+    RunnerOptions o = with(core::BackendKind::Subprocess, 2);
+    o.replicates = 3;
+    BatchRunner runner(transcendental_sim(), o);
+    num::Matrix pts(2, 2);
+    pts(1, 0) = 4.0;
+    const RunResults r = runner.run_points(kSpace, pts);
+    EXPECT_EQ(r.simulations, 6u);  // 2 points x 3 replicates, counted raw
+}
+
+TEST(SubprocessBackend, ProgressReportsEveryPoint) {
+    RunnerOptions o = with(core::BackendKind::Subprocess, 2);
+    std::atomic<std::size_t> reports{0};
+    std::atomic<std::size_t> last_done{0};
+    o.on_batch = [&](const BatchProgress& p) {
+        reports.fetch_add(1);
+        last_done.store(p.points_done);
+        EXPECT_EQ(p.points_total, 9u);
+        EXPECT_GE(p.elapsed_seconds, 0.0);
+    };
+    BatchRunner runner(transcendental_sim(), o);
+    runner.run_design(kSpace, full_factorial(2, 3));  // 9 distinct points
+    EXPECT_EQ(reports.load(), 9u);
+    EXPECT_EQ(last_done.load(), 9u);
+}
+
+TEST(SubprocessBackend, SimulationErrorArrivesInDesignOrder) {
+    const Simulation failing = [](const Vector& nat) -> std::map<std::string, double> {
+        if (nat[0] > 7.0) throw std::invalid_argument("diverged hard");
+        return {{"f", nat[0]}};
+    };
+    BatchRunner runner(failing, with(core::BackendKind::Subprocess, 2));
+    const Design d = full_factorial(2, 4);  // natural x spans 0..10
+    try {
+        runner.run_design(kSpace, d);
+        FAIL() << "expected a propagated simulation error";
+    } catch (const std::runtime_error& e) {
+        // The worker's message crosses the process boundary.
+        EXPECT_NE(std::string(e.what()).find("diverged hard"), std::string::npos) << e.what();
+    }
+    // A failed run commits nothing to the memo cache.
+    EXPECT_EQ(runner.cache_size(), 0u);
+}
+
+TEST(SubprocessBackend, WorkerCrashIsACleanError) {
+    // The worker process dies outright (simulating a crashed external HDL
+    // co-simulation); the parent reports it instead of hanging or dying.
+    // Exactly one lethal point (natural (10, 5)): at most one worker dies.
+    const Simulation crashing = [](const Vector& nat) -> std::map<std::string, double> {
+        if (nat[0] > 9.0 && nat[1] > 4.9) ::_exit(3);
+        return {{"f", nat[0] + nat[1]}};
+    };
+    core::BackendOptions bo;
+    bo.threads = 2;
+    auto backend = std::make_shared<core::SubprocessBackend>(crashing, bo);
+    BatchRunner runner(backend);
+    const Design d = full_factorial(2, 5);
+    try {
+        runner.run_design(kSpace, d);
+        FAIL() << "expected a worker-crash error";
+    } catch (const std::runtime_error& e) {
+        EXPECT_NE(std::string(e.what()).find("died while evaluating point"),
+                  std::string::npos)
+            << e.what();
+    }
+    EXPECT_LT(backend->live_workers(), 2u);
+
+    // Surviving workers keep serving points that avoid the crash.
+    ASSERT_GE(backend->live_workers(), 1u);
+    num::Matrix safe(1, 2);  // coded (0,0) -> natural (5,0)
+    const RunResults ok = runner.run_points(kSpace, safe);
+    EXPECT_DOUBLE_EQ(ok.responses(0, 0), 5.0);
+}
+
+// ---------------------------------------------------------------------------
+// Persistent cache
+// ---------------------------------------------------------------------------
+TEST(PersistentCache, RoundTripAcrossBackendInstances) {
+    TempFile cache("ehdoe-roundtrip");
+    const Design d = full_factorial(2, 3);  // 9 points
+    RunnerOptions o;
+    o.cache_file = cache.path();
+    o.cache_fingerprint = "sim-A";
+
+    const RunResults cold = BatchRunner(transcendental_sim(), o).run_design(kSpace, d);
+    EXPECT_EQ(cold.simulations, 9u);
+
+    BatchRunner warm(transcendental_sim(), o);
+    auto* layer = dynamic_cast<const core::PersistentCache*>(&warm.backend());
+    ASSERT_NE(layer, nullptr);
+    EXPECT_TRUE(layer->restored());
+    EXPECT_EQ(layer->size(), 9u);
+    const RunResults again = warm.run_design(kSpace, d);
+    EXPECT_EQ(again.simulations, 0u);
+    EXPECT_EQ(again.cache_hits, 9u);
+    EXPECT_TRUE(num::approx_equal(again.responses, cold.responses, 0.0));
+}
+
+TEST(PersistentCache, FingerprintMismatchInvalidates) {
+    TempFile cache("ehdoe-fingerprint");
+    const Design d = full_factorial(2, 3);
+    RunnerOptions o;
+    o.cache_file = cache.path();
+    o.cache_fingerprint = "sim-A";
+    BatchRunner(transcendental_sim(), o).run_design(kSpace, d);
+
+    // Same file, different simulation identity: the snapshot must not leak.
+    o.cache_fingerprint = "sim-B";
+    BatchRunner mismatched(transcendental_sim(), o);
+    auto* layer = dynamic_cast<const core::PersistentCache*>(&mismatched.backend());
+    ASSERT_NE(layer, nullptr);
+    EXPECT_FALSE(layer->restored());
+    const RunResults r = mismatched.run_design(kSpace, d);
+    EXPECT_EQ(r.simulations, 9u);
+}
+
+TEST(PersistentCache, ReplicateCountIsPartOfTheIdentity) {
+    // Entries are replicate-averaged: a run with a different replicate
+    // count must not silently reuse them.
+    TempFile cache("ehdoe-replicates");
+    const Design d = full_factorial(2, 3);
+    RunnerOptions o;
+    o.cache_file = cache.path();
+    o.cache_fingerprint = "sim-A";
+    BatchRunner(transcendental_sim(), o).run_design(kSpace, d);
+
+    o.replicates = 2;
+    BatchRunner rerun(transcendental_sim(), o);
+    auto* layer = dynamic_cast<const core::PersistentCache*>(&rerun.backend());
+    ASSERT_NE(layer, nullptr);
+    EXPECT_FALSE(layer->restored());
+    const RunResults r = rerun.run_design(kSpace, d);
+    EXPECT_EQ(r.simulations, 18u);  // 9 points x 2 replicates, all fresh
+}
+
+TEST(PersistentCache, CorruptFileRecoversCold) {
+    TempFile cache("ehdoe-corrupt");
+    const Design d = full_factorial(2, 3);
+    RunnerOptions o;
+    o.cache_file = cache.path();
+    o.cache_fingerprint = "sim-A";
+    BatchRunner(transcendental_sim(), o).run_design(kSpace, d);
+
+    // Truncate the snapshot mid-entry: load must treat it as cold, not die.
+    {
+        std::ifstream in(cache.path(), std::ios::binary);
+        std::string bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+        ASSERT_GT(bytes.size(), 40u);
+        std::ofstream out(cache.path(), std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+    }
+    BatchRunner recovered(transcendental_sim(), o);
+    auto* layer = dynamic_cast<const core::PersistentCache*>(&recovered.backend());
+    ASSERT_NE(layer, nullptr);
+    EXPECT_FALSE(layer->restored());
+    const RunResults r = recovered.run_design(kSpace, d);
+    EXPECT_EQ(r.simulations, 9u);
+
+    // Garbage that is not even a header recovers the same way.
+    {
+        std::ofstream out(cache.path(), std::ios::binary | std::ios::trunc);
+        out << "not a cache file at all";
+    }
+    BatchRunner garbage(transcendental_sim(), o);
+    const RunResults g = garbage.run_design(kSpace, d);
+    EXPECT_EQ(g.simulations, 9u);
+}
+
+TEST(PersistentCache, ThrowingInnerCommitsNothing) {
+    TempFile cache("ehdoe-throwing");
+    const Simulation bad = [](const Vector&) -> std::map<std::string, double> {
+        throw std::runtime_error("boom");
+    };
+    RunnerOptions o;
+    o.cache_file = cache.path();
+    o.cache_fingerprint = "sim-A";
+    {
+        BatchRunner runner(bad, o);
+        num::Matrix pts(2, 2);
+        pts(1, 0) = 0.5;
+        EXPECT_THROW(runner.run_points(kSpace, pts), std::runtime_error);
+        EXPECT_TRUE(runner.save_cache());
+    }
+    BatchRunner warm(bad, o);
+    auto* layer = dynamic_cast<const core::PersistentCache*>(&warm.backend());
+    ASSERT_NE(layer, nullptr);
+    EXPECT_EQ(layer->size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// DesignFlow-level wiring
+// ---------------------------------------------------------------------------
+TEST(DesignFlowBackends, WarmPersistentFlowIsSimulationFree) {
+    const core::Scenario sc = core::Scenario::make(core::ScenarioId::OfficeHvac, 30.0);
+    TempFile cache("ehdoe-flow");
+
+    core::DesignFlow::Options o;
+    o.runner_threads = 2;
+    o.cache_file = cache.path();
+    o.cache_fingerprint = sc.fingerprint();
+
+    double cold_prediction = 0.0;
+    {
+        core::DesignFlow flow(sc.design_space(), sc.make_simulation(), o);
+        flow.run_ccd();
+        cold_prediction = flow.surface(core::kRespPackets).value(num::Vector(6));
+        EXPECT_EQ(flow.batch_stats().simulations, 45u);
+    }
+    {
+        core::DesignFlow flow(sc.design_space(), sc.make_simulation(), o);
+        flow.run_ccd();
+        EXPECT_EQ(flow.batch_stats().simulations, 0u);
+        EXPECT_EQ(flow.batch_stats().cache_hits, 48u);
+        EXPECT_DOUBLE_EQ(flow.surface(core::kRespPackets).value(num::Vector(6)),
+                         cold_prediction);
+    }
+}

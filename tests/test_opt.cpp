@@ -1,8 +1,14 @@
-// Optimizer suite tests: local searches and global heuristics.
+// Optimizer suite tests: local searches and global heuristics, plus the
+// batch-parallel population paths (GA generations / SA restart chains
+// through a BatchObjective) which must match the serial paths bitwise.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <thread>
+#include <vector>
 
+#include "doe/batch_runner.hpp"
 #include "opt/anneal.hpp"
 #include "opt/genetic.hpp"
 #include "opt/gradient.hpp"
@@ -156,6 +162,125 @@ TEST(Negated, TurnsMaximizationIntoMinimization) {
     const Objective f = [](const Vector& x) { return -(x[0] - 0.5) * (x[0] - 0.5); };
     const OptResult r = nelder_mead(negated(f), Bounds::coded_cube(1), Vector{0.0});
     EXPECT_NEAR(r.x[0], 0.5, 1e-4);
+}
+
+namespace {
+
+/// Batch objective that routes every population through a multi-threaded
+/// BatchRunner — the "direct on the (fake) simulator, but parallel" path.
+/// Also hands back the runner so tests can audit simulation counts.
+struct RunnerBackedObjective {
+    explicit RunnerBackedObjective(std::size_t threads) {
+        ehdoe::doe::RunnerOptions o;
+        o.threads = threads;
+        o.batch_size = 2;  // force real batching/interleaving
+        runner = std::make_shared<ehdoe::doe::BatchRunner>(
+            [](const Vector& x) {
+                return std::map<std::string, double>{{"y", multimodal(x)}};
+            },
+            o);
+    }
+    BatchObjective batch() const {
+        auto r = runner;
+        return [r](const std::vector<Vector>& pts) {
+            const auto rows = r->evaluate(pts);
+            std::vector<double> values;
+            values.reserve(rows.size());
+            for (const auto& m : rows) values.push_back(m.at("y"));
+            return values;
+        };
+    }
+    std::shared_ptr<ehdoe::doe::BatchRunner> runner;
+};
+
+}  // namespace
+
+TEST(Genetic, BatchParallelMatchesSerialBitwise) {
+    GeneticOptions o;
+    o.population = 24;
+    o.generations = 15;
+    o.seed = 11;
+    const OptResult serial = genetic_minimize(multimodal, kCube2, o);
+
+    RunnerBackedObjective direct(4);
+    const OptResult parallel = genetic_minimize(direct.batch(), kCube2, o);
+
+    // The contract: identical trajectory endpoint, value and accounting.
+    ASSERT_EQ(parallel.x.size(), serial.x.size());
+    for (std::size_t i = 0; i < serial.x.size(); ++i) {
+        EXPECT_EQ(parallel.x[i], serial.x[i]) << i;  // bitwise, not approx
+    }
+    EXPECT_EQ(parallel.value, serial.value);
+    EXPECT_EQ(parallel.evaluations, serial.evaluations);
+    EXPECT_EQ(parallel.iterations, serial.iterations);
+    // The engine's memoization means revisited genomes (elites are not
+    // re-evaluated, but mutation can recreate a point) cost nothing extra;
+    // simulations never exceed the serial path's evaluation count.
+    EXPECT_LE(direct.runner->stats().simulations, serial.evaluations);
+}
+
+TEST(Anneal, BatchParallelRestartsMatchSerialBitwise) {
+    AnnealOptions o;
+    o.seed = 7;
+    o.moves_per_epoch = 10;
+    o.restarts = 3;
+    const OptResult serial = simulated_annealing(multimodal, kCube2, Vector{0.8, -0.8}, o);
+
+    RunnerBackedObjective direct(3);
+    const OptResult parallel =
+        simulated_annealing(direct.batch(), kCube2, Vector{0.8, -0.8}, o);
+
+    ASSERT_EQ(parallel.x.size(), serial.x.size());
+    for (std::size_t i = 0; i < serial.x.size(); ++i) {
+        EXPECT_EQ(parallel.x[i], serial.x[i]) << i;
+    }
+    EXPECT_EQ(parallel.value, serial.value);
+    EXPECT_EQ(parallel.evaluations, serial.evaluations);
+    EXPECT_EQ(parallel.iterations, serial.iterations);
+}
+
+TEST(Anneal, RestartsBeatSingleChainOnMultimodal) {
+    AnnealOptions one;
+    one.seed = 3;
+    one.moves_per_epoch = 8;
+    AnnealOptions many = one;
+    many.restarts = 4;
+    const OptResult a = simulated_annealing(multimodal, kCube2, Vector{0.9, 0.9}, one);
+    const OptResult b = simulated_annealing(multimodal, kCube2, Vector{0.9, 0.9}, many);
+    EXPECT_LE(b.value, a.value);  // more chains can only improve the best
+    EXPECT_EQ(b.evaluations, 4u * a.evaluations);
+}
+
+TEST(CountedObjective, ExactUnderConcurrentInvocation) {
+    // The GA/SA objective is now invoked from evaluation-backend worker
+    // threads; the count must stay exact, not approximately right.
+    CountedObjective obj([](const Vector& x) { return x[0]; });
+    constexpr std::size_t kThreads = 4;
+    constexpr std::size_t kCallsPerThread = 5000;
+    std::vector<std::thread> threads;
+    for (std::size_t t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&obj] {
+            const Vector x{1.0};
+            for (std::size_t i = 0; i < kCallsPerThread; ++i) obj(x);
+        });
+    }
+    for (auto& t : threads) t.join();
+    EXPECT_EQ(obj.count(), kThreads * kCallsPerThread);
+}
+
+TEST(CountedBatchObjective, CountsPointsAndEnforcesSize) {
+    CountedBatchObjective counted(lift([](const Vector& x) { return x[0] * 2.0; }));
+    const std::vector<Vector> pts{Vector{1.0}, Vector{2.0}, Vector{3.0}};
+    const std::vector<double> v = counted(pts);
+    ASSERT_EQ(v.size(), 3u);
+    EXPECT_DOUBLE_EQ(v[1], 4.0);
+    EXPECT_EQ(counted.count(), 3u);
+
+    CountedBatchObjective broken([](const std::vector<Vector>& xs) {
+        return std::vector<double>(xs.size() + 1, 0.0);
+    });
+    EXPECT_THROW(broken(pts), std::runtime_error);
+    EXPECT_EQ(broken.count(), 0u);  // nothing legitimate was evaluated
 }
 
 // Property: every local optimizer solves a rotated quadratic from any corner.
