@@ -2,7 +2,12 @@
 // ("a moderate number of simulations is required to build the RSM").
 // Designs: 3^6 full factorial (reference, large), face-centred CCD,
 // Box-Behnken, LHS at two sizes, Plackett-Burman (screening, linear model).
+//
+// Appends the comparison as one JSONL line to the tracked perf-trajectory
+// ledger bench/history/t2_doe.jsonl (see bench/history/README.md).
+#include <ctime>
 #include <iostream>
+#include <sstream>
 
 #include "core/report.hpp"
 #include "core/scenario.hpp"
@@ -49,6 +54,8 @@ int main() {
 
     core::Table t("T2: runs vs validated accuracy (response E_cons)");
     t.headers({"design", "runs", "fit R2", "val RMSE (J)", "val NRMSE/mean", "val R2"});
+    std::ostringstream json_rows;
+    bool first_row = true;
     for (const Row& r : rows) {
         const doe::RunResults res = doe::run_design(space, r.design, sim, ro);
         const rsm::ModelSpec model(6, r.order);
@@ -63,9 +70,20 @@ int main() {
             .cell(v.rmse, 5)
             .cell(v.nrmse_mean, 3)
             .cell(v.r_squared, 3);
+        json_rows << (first_row ? "" : ", ") << "{\"design\": \"" << r.name
+                  << "\", \"runs\": " << res.design.runs() << ", \"fit_r2\": " << fit.r_squared()
+                  << ", \"val_rmse\": " << v.rmse << ", \"val_nrmse_mean\": " << v.nrmse_mean
+                  << ", \"val_r2\": " << v.r_squared << "}";
+        first_row = false;
     }
     t.print(std::cout);
     std::cout << "\nExpected shape: the 48-run CCD approaches the 729-run full factorial;\n"
                  "LHS is competitive at similar size; linear models are visibly worse.\n";
+
+    std::ostringstream json;
+    json << "{\"bench\": \"t2_doe\", \"timestamp\": " << std::time(nullptr)
+         << ", \"scenario\": \"S1\", \"response\": \"E_cons\", \"designs\": [" << json_rows.str()
+         << "]}";
+    core::append_history_or_warn("t2_doe.jsonl", json.str(), std::cout);
     return 0;
 }

@@ -1,6 +1,12 @@
 // T3 — RSM prediction accuracy per performance indicator, per scenario
 // ("evaluate the effect almost instantly but still with high accuracy").
+//
+// Appends the accuracy table as one JSONL line to the tracked
+// perf-trajectory ledger bench/history/t3_accuracy.jsonl (see
+// bench/history/README.md).
+#include <ctime>
 #include <iostream>
+#include <sstream>
 
 #include "core/report.hpp"
 #include "core/scenario.hpp"
@@ -17,6 +23,8 @@ int main() {
     core::Table t("T3: hold-out accuracy per indicator");
     t.headers({"scenario", "response", "val RMSE", "NRMSE/mean", "NRMSE/range", "val R2"});
 
+    std::ostringstream json_rows;
+    bool first_row = true;
     for (auto id : {ScenarioId::OfficeHvac, ScenarioId::Industrial, ScenarioId::Transport}) {
         const Scenario sc = Scenario::make(id, 150.0);
         DesignFlow::Options o;
@@ -32,11 +40,22 @@ int main() {
                 .cell(v.nrmse_mean, 3)
                 .cell(v.nrmse_range, 3)
                 .cell(v.r_squared, 3);
+            json_rows << (first_row ? "" : ", ") << "{\"scenario\": \"" << sc.name()
+                      << "\", \"response\": \"" << resp << "\", \"val_rmse\": " << v.rmse
+                      << ", \"nrmse_mean\": " << v.nrmse_mean
+                      << ", \"nrmse_range\": " << v.nrmse_range
+                      << ", \"val_r2\": " << v.r_squared << "}";
+            first_row = false;
         }
     }
     t.print(std::cout);
     std::cout << "\nExpected shape: smooth energy indicators (E_cons, E_tune) within a\n"
                  "few percent of the simulator; thresholded ones (downtime, V_min at\n"
                  "the brown-out cliff) are visibly harder for a quadratic surface.\n";
+
+    std::ostringstream json;
+    json << "{\"bench\": \"t3_accuracy\", \"timestamp\": " << std::time(nullptr)
+         << ", \"rows\": [" << json_rows.str() << "]}";
+    core::append_history_or_warn("t3_accuracy.jsonl", json.str(), std::cout);
     return 0;
 }

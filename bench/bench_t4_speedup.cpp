@@ -1,11 +1,17 @@
 // T4 — exploration speed: RSM queries vs direct simulation ("once the
 // design space is approximated and captured, its exploration is very fast").
 // Also runs a google-benchmark microbenchmark of one RSM evaluation.
+//
+// Appends the per-query costs as one JSONL line to the tracked
+// perf-trajectory ledger bench/history/t4_speedup.jsonl (see
+// bench/history/README.md).
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <cmath>
+#include <ctime>
 #include <iostream>
+#include <sstream>
 
 #include "core/report.hpp"
 #include "core/scenario.hpp"
@@ -84,6 +90,16 @@ int main(int argc, char** argv) {
               << flow.results().simulations << " simulations; amortized after "
               << static_cast<long>(t_doe / (t_node > 0 ? t_node : 1.0)) + 1
               << " node-level queries (a single sweep uses thousands).\n\n";
+
+    std::ostringstream json;
+    json << "{\"bench\": \"t4_speedup\", \"timestamp\": " << std::time(nullptr)
+         << ", \"scenario\": \"S1\", \"rsm_query_seconds\": " << t_rsm
+         << ", \"node_sim_seconds\": " << t_node << ", \"circuit_sim_seconds\": " << t_circuit
+         << ", \"node_speedup\": " << t_node / t_rsm << ", \"circuit_speedup\": "
+         << t_circuit / t_rsm << ", \"doe_wall_seconds\": " << t_doe
+         << ", \"doe_simulations\": " << flow.results().simulations << "}";
+    core::append_history_or_warn("t4_speedup.jsonl", json.str(), std::cout);
+    std::cout << "\n";
 
     // Optional google-benchmark statistical pass over the RSM evaluation.
     benchmark::Initialize(&argc, argv);

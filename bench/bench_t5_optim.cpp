@@ -9,8 +9,12 @@
 // doe::BatchRunner), so the direct-on-simulator baseline is itself
 // parallel and memoized — the paper's comparison is against the status quo
 // at its best, and the trajectories are identical to serial evaluation.
+// Appends the comparison as one JSONL line to the tracked perf-trajectory
+// ledger bench/history/t5_optim.jsonl (see bench/history/README.md).
 #include <chrono>
+#include <ctime>
 #include <iostream>
+#include <sstream>
 #include <vector>
 
 #include "core/report.hpp"
@@ -92,6 +96,14 @@ int main() {
     core::Table t("T5: optimizer comparison");
     t.headers({"method", "simulator calls", "wall", "best packets (sim-confirmed)"});
 
+    struct MethodResult {
+        std::string method;
+        std::size_t simulator_calls = 0;
+        double wall_seconds = 0.0;
+        double best_packets = 0.0;
+    };
+    std::vector<MethodResult> results;
+
     // --- DoE/RSM flow -------------------------------------------------------
     {
         DesignFlow::Options o;
@@ -109,6 +121,8 @@ int main() {
             .cell(flow.simulator_calls())
             .cell(core::format_seconds(wall))
             .cell(out.confirmed.value_or(-1.0), 1);
+        results.push_back({"DoE + RSM (this paper)", flow.simulator_calls(), wall,
+                           out.confirmed.value_or(-1.0)});
     }
 
     // --- direct heuristics --------------------------------------------------
@@ -128,6 +142,7 @@ int main() {
             .cell(obj.runner->stats().simulations)
             .cell(core::format_seconds(wall))
             .cell(conf.at(kRespPackets), 1);
+        results.push_back({name, obj.runner->stats().simulations, wall, conf.at(kRespPackets)});
     };
 
     const opt::Bounds cube = opt::Bounds::coded_cube(6);
@@ -160,6 +175,7 @@ int main() {
             .cell(obj.calls)
             .cell(core::format_seconds(wall))
             .cell(conf.at(kRespPackets), 1);
+        results.push_back({"pattern search (direct)", obj.calls, wall, conf.at(kRespPackets)});
     }
 
     t.print(std::cout);
@@ -167,5 +183,18 @@ int main() {
                  "an order of magnitude fewer simulator calls; the gap in wall time\n"
                  "widens with simulation cost (the paper's HDL models run for\n"
                  "minutes per evaluation, not milliseconds).\n";
+
+    std::ostringstream json;
+    json << "{\"bench\": \"t5_optim\", \"timestamp\": " << std::time(nullptr)
+         << ", \"scenario\": \"S2\", \"methods\": [";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const auto& r = results[i];
+        json << (i ? ", " : "") << "{\"method\": \"" << r.method
+             << "\", \"simulator_calls\": " << r.simulator_calls
+             << ", \"wall_seconds\": " << r.wall_seconds
+             << ", \"best_packets\": " << r.best_packets << "}";
+    }
+    json << "]}";
+    core::append_history_or_warn("t5_optim.jsonl", json.str(), std::cout);
     return 0;
 }

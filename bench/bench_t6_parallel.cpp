@@ -114,12 +114,7 @@ int main(int argc, char** argv) {
              << "}";
     }
     json << "]}";
-    const std::string written = append_history_line("t6_parallel.jsonl", json.str());
-    if (written.empty()) {
-        std::cout << "WARNING: could not append to the bench/history ledger\n";
-    } else {
-        std::cout << "Curve appended to " << written << "\n";
-    }
+    append_history_or_warn("t6_parallel.jsonl", json.str(), std::cout);
 
     return all_identical ? 0 : 1;
 }

@@ -135,12 +135,7 @@ int main(int argc, char** argv) {
              << "}";
     }
     json << "]}";
-    const std::string written = append_history_line("t7_backends.jsonl", json.str());
-    if (written.empty()) {
-        std::cout << "WARNING: could not append to the bench/history ledger\n";
-    } else {
-        std::cout << "Sweep appended to " << written << "\n";
-    }
+    append_history_or_warn("t7_backends.jsonl", json.str(), std::cout);
 
     return contract_ok ? 0 : 1;
 }

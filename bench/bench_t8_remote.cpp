@@ -1,0 +1,151 @@
+// T8 — distributed evaluation: the same S1 CCD run through the sharded
+// remote evaluation service — net::RemoteBackend over 1, 2 and 4 loopback
+// net::EvalServer shards (one worker each, so the shard count is the
+// parallelism unit) — against the in-process serial reference. Checks the
+// service contract: bitwise-identical responses at every shard count, and
+// every point evaluated exactly once (no lost or doubled work under
+// sharding).
+//
+// On a multi-core host the wall time shrinks with the shard count; on a
+// single-CPU container the point of the run is the contract, not the
+// speedup. Appends the sweep as one JSONL line to the tracked
+// perf-trajectory ledger bench/history/t8_remote.jsonl (see
+// bench/history/README.md).
+#include <ctime>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/report.hpp"
+#include "core/scenario.hpp"
+#include "core/thread_pool.hpp"
+#include "doe/batch_runner.hpp"
+#include "doe/composite.hpp"
+#include "net/eval_server.hpp"
+
+using namespace ehdoe;
+using namespace ehdoe::core;
+
+namespace {
+
+struct SweepPoint {
+    std::string label;
+    std::size_t shards = 0;
+    double wall_seconds = 0.0;
+    double speedup = 0.0;
+    std::size_t simulations = 0;
+    std::size_t points_served = 0;  ///< summed over the shard servers
+    bool identical = false;
+};
+
+}  // namespace
+
+int main() {
+    const std::size_t hw = ThreadPool::hardware_threads();
+    std::cout << "T8 - sharded remote evaluation over the S1 CCD (48 runs, 600 s\n"
+                 "horizon; "
+              << hw << " hardware threads). In-process reference vs 1/2/4 loopback\n"
+                 "eval-server shards, one worker per shard.\n\n";
+
+    const Scenario sc = Scenario::make(ScenarioId::OfficeHvac, 600.0);
+    const doe::DesignSpace space = sc.design_space();
+    const doe::Design design = doe::central_composite(space.dimension());
+    const std::string fp = sc.fingerprint();
+
+    // The shard pool: four single-worker servers on ephemeral loopback
+    // ports; each sweep row uses a prefix of them.
+    std::vector<std::unique_ptr<net::EvalServer>> servers;
+    for (int i = 0; i < 4; ++i) {
+        net::EvalServerOptions so;
+        so.workers = 1;
+        so.fingerprint = fp;
+        servers.push_back(std::make_unique<net::EvalServer>(sc.make_simulation(), so));
+        servers.back()->start();
+    }
+    auto endpoints = [&](std::size_t shards) {
+        std::vector<std::string> eps;
+        for (std::size_t i = 0; i < shards; ++i) {
+            eps.push_back("127.0.0.1:" + std::to_string(servers[i]->port()));
+        }
+        return eps;
+    };
+    auto served_total = [&] {
+        std::size_t n = 0;
+        for (const auto& s : servers) n += s->points_served();
+        return n;
+    };
+
+    std::vector<SweepPoint> sweep;
+    doe::RunResults reference;
+    bool contract_ok = true;
+    for (const std::size_t shards : {std::size_t{0}, std::size_t{1}, std::size_t{2},
+                                     std::size_t{4}}) {
+        doe::RunnerOptions o;
+        if (shards > 0) {
+            o.endpoints = endpoints(shards);
+            o.cache_fingerprint = fp;
+        }
+        const std::size_t served_before = served_total();
+        doe::BatchRunner runner(sc.make_simulation(), o);
+        const doe::RunResults r = runner.run_design(space, design);
+
+        SweepPoint p;
+        p.label = shards == 0 ? "in-process x1 (reference)"
+                              : "remote x" + std::to_string(shards);
+        p.shards = shards;
+        p.wall_seconds = r.wall_seconds;
+        p.simulations = r.simulations;
+        p.points_served = served_total() - served_before;
+        if (sweep.empty()) {
+            reference = r;
+            p.speedup = 1.0;
+            p.identical = true;
+        } else {
+            p.speedup = sweep.front().wall_seconds / r.wall_seconds;
+            // The service contract: bitwise, not approximately, equal.
+            p.identical = num::approx_equal(r.responses, reference.responses, 0.0);
+            // Exactly-once dispatch: the shards served every unique point
+            // once, no more.
+            contract_ok = contract_ok && p.points_served == r.simulations;
+        }
+        contract_ok = contract_ok && p.identical;
+        sweep.push_back(p);
+    }
+    for (auto& s : servers) s->stop();
+
+    Table t("T8: S1 CCD (48 points) across remote shard counts");
+    t.headers({"backend", "wall", "speedup", "simulations", "points served",
+               "bitwise identical"});
+    for (const auto& p : sweep) {
+        t.row()
+            .cell(p.label)
+            .cell(format_seconds(p.wall_seconds))
+            .cell(p.speedup, 2)
+            .cell(p.simulations)
+            .cell(p.points_served)
+            .cell(p.identical ? "yes" : "NO");
+    }
+    t.print(std::cout);
+
+    std::cout << "\nService contract (bitwise-identical responses at every shard count;\n"
+                 "each unique point served exactly once): "
+              << (contract_ok ? "HOLDS" : "VIOLATED - BUG") << "\n";
+
+    std::ostringstream json;
+    json << "{\"bench\": \"t8_remote\", \"timestamp\": " << std::time(nullptr)
+         << ", \"design_points\": " << design.runs() << ", \"hardware_threads\": " << hw
+         << ", \"contract_ok\": " << (contract_ok ? "true" : "false") << ", \"sweep\": [";
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+        const auto& p = sweep[i];
+        json << (i ? ", " : "") << "{\"backend\": \"" << p.label << "\", \"shards\": " << p.shards
+             << ", \"wall_seconds\": " << p.wall_seconds << ", \"speedup\": " << p.speedup
+             << ", \"simulations\": " << p.simulations << ", \"points_served\": "
+             << p.points_served << "}";
+    }
+    json << "]}";
+    append_history_or_warn("t8_remote.jsonl", json.str(), std::cout);
+
+    return contract_ok ? 0 : 1;
+}

@@ -16,6 +16,9 @@
 //    snapshots/restores a memo table to a versioned binary file keyed by a
 //    simulation fingerprint, so repeated CLI/CI runs amortize simulations
 //    across processes.
+//  * net::RemoteBackend (net/remote_backend.hpp) — shards batches across
+//    TCP eval-server daemons (net/eval_server.hpp): many machines, one
+//    design.
 //
 // The contract every backend must honour: results are bitwise identical to a
 // serial in-process evaluation (each point is evaluated exactly once, by one
@@ -64,6 +67,12 @@ struct BackendOptions {
     std::size_t batch_size = 0;
     /// Replicates per point (responses averaged inside the backend).
     std::size_t replicates = 1;
+    /// Crashed-worker respawn budget across the backend's lifetime
+    /// (process-pool backends only; in-process execution ignores it). A
+    /// worker killed by a point is replaced at the start of the next
+    /// evaluate() while budget remains, so long runs do not decay to
+    /// serial; 0 retires crashed workers for good.
+    std::size_t worker_respawns = 3;
     /// Invoked after every completed batch (from worker threads, serialized).
     std::function<void(const BatchProgress&)> on_batch;
 };

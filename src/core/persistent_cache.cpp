@@ -1,10 +1,17 @@
 #include "core/persistent_cache.hpp"
 
+#include <signal.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <stdexcept>
+#include <system_error>
 
 namespace ehdoe::core {
 
@@ -40,65 +47,132 @@ PersistentCache::~PersistentCache() {
     if (autosave_) save();  // best effort; a failed snapshot only costs warmth
 }
 
-void PersistentCache::load() {
-    std::ifstream in(path_, std::ios::binary);
-    if (!in) return;  // no snapshot yet: cold cache
+namespace {
+
+/// Parse a snapshot file into `staged`. False (and an untouched `staged`)
+/// for a missing, truncated, corrupt, wrong-version or wrong-fingerprint
+/// file — the caller treats every failure as a cold cache.
+bool load_snapshot(const std::string& path, const std::string& fingerprint,
+                   std::map<std::vector<double>, ResponseMap>& staged) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return false;  // no snapshot yet: cold cache
 
     char magic[sizeof kMagic];
     std::uint8_t version = 0;
-    if (!in.read(magic, sizeof magic) || std::memcmp(magic, kMagic, sizeof kMagic) != 0) return;
-    if (!in.read(reinterpret_cast<char*>(&version), 1) || version != kFormatVersion) return;
+    if (!in.read(magic, sizeof magic) || std::memcmp(magic, kMagic, sizeof kMagic) != 0)
+        return false;
+    if (!in.read(reinterpret_cast<char*>(&version), 1) || version != kFormatVersion) return false;
 
     std::uint64_t fp_len = 0;
-    if (!read_u64(in, fp_len) || fp_len > kSaneLimit) return;
+    if (!read_u64(in, fp_len) || fp_len > kSaneLimit) return false;
     std::string fp(static_cast<std::size_t>(fp_len), '\0');
-    if (!in.read(fp.data(), static_cast<std::streamsize>(fp.size()))) return;
-    if (fp != fingerprint_) return;  // different simulation: invalidate
+    if (!in.read(fp.data(), static_cast<std::streamsize>(fp.size()))) return false;
+    if (fp != fingerprint) return false;  // different simulation: invalidate
 
     std::uint64_t n_entries = 0;
-    if (!read_u64(in, n_entries) || n_entries > kSaneLimit) return;
+    if (!read_u64(in, n_entries) || n_entries > kSaneLimit) return false;
 
-    // Parse into a staging table: a truncated or corrupt tail must not leave
+    // Parse into a local table: a truncated or corrupt tail must not leave
     // a half-restored cache behind.
-    std::map<std::vector<double>, ResponseMap> staged;
+    std::map<std::vector<double>, ResponseMap> parsed;
     for (std::uint64_t e = 0; e < n_entries; ++e) {
         std::uint64_t dim = 0;
-        if (!read_u64(in, dim) || dim > kSaneLimit) return;
+        if (!read_u64(in, dim) || dim > kSaneLimit) return false;
         std::vector<double> key(static_cast<std::size_t>(dim));
         if (!in.read(reinterpret_cast<char*>(key.data()),
                      static_cast<std::streamsize>(sizeof(double) * key.size())))
-            return;
+            return false;
 
         std::uint64_t n_resp = 0;
-        if (!read_u64(in, n_resp) || n_resp > kSaneLimit) return;
+        if (!read_u64(in, n_resp) || n_resp > kSaneLimit) return false;
         ResponseMap responses;
         for (std::uint64_t r = 0; r < n_resp; ++r) {
             std::uint64_t len = 0;
-            if (!read_u64(in, len) || len > kSaneLimit) return;
+            if (!read_u64(in, len) || len > kSaneLimit) return false;
             std::string name(static_cast<std::size_t>(len), '\0');
             double value = 0.0;
-            if (!in.read(name.data(), static_cast<std::streamsize>(name.size()))) return;
-            if (!in.read(reinterpret_cast<char*>(&value), sizeof value)) return;
+            if (!in.read(name.data(), static_cast<std::streamsize>(name.size()))) return false;
+            if (!in.read(reinterpret_cast<char*>(&value), sizeof value)) return false;
             responses.emplace(std::move(name), value);
         }
-        staged.emplace(std::move(key), std::move(responses));
+        parsed.emplace(std::move(key), std::move(responses));
     }
 
+    staged = std::move(parsed);
+    return true;
+}
+
+}  // namespace
+
+namespace {
+
+/// Remove '<path>.<pid>.tmp' orphans whose writer is gone — a process
+/// killed between open and rename leaves its pid-unique temporary behind,
+/// and no later save would ever touch it. Best effort; never throws.
+void reap_stale_temporaries(const std::string& path) {
+    try {
+        const std::filesystem::path snapshot(path);
+        const std::string prefix = snapshot.filename().string() + ".";
+        const std::filesystem::path dir =
+            snapshot.has_parent_path() ? snapshot.parent_path() : ".";
+        for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+            const std::string name = entry.path().filename().string();
+            if (name.size() <= prefix.size() + 4 || name.compare(0, prefix.size(), prefix) != 0 ||
+                name.compare(name.size() - 4, 4, ".tmp") != 0)
+                continue;
+            const std::string pid_part = name.substr(prefix.size(), name.size() - prefix.size() - 4);
+            if (pid_part.empty() ||
+                pid_part.find_first_not_of("0123456789") != std::string::npos)
+                continue;
+            const pid_t pid = static_cast<pid_t>(std::strtol(pid_part.c_str(), nullptr, 10));
+            if (pid > 0 && ::kill(pid, 0) != 0 && errno == ESRCH) {
+                std::error_code ec;
+                std::filesystem::remove(entry.path(), ec);
+            }
+        }
+    } catch (...) {
+        // Directory races or permissions: cleanliness is not worth failing a load.
+    }
+}
+
+}  // namespace
+
+void PersistentCache::load() {
+    reap_stale_temporaries(path_);
+    std::map<std::vector<double>, ResponseMap> staged;
+    if (!load_snapshot(path_, fingerprint_, staged)) return;
     table_ = std::move(staged);
     restored_ = true;
 }
 
 bool PersistentCache::save() const {
-    const std::string tmp = path_ + ".tmp";
+    // Concurrent writers (several flows sharing one snapshot as their
+    // result store): fold in whatever a compatible snapshot on disk holds
+    // beyond our own table, so the last writer keeps the union rather than
+    // clobbering its siblings. In-memory entries win ties; the atomic
+    // tmp+rename below guarantees readers only ever see a complete file —
+    // racing savers can drop the *other* writer's latest entries (last
+    // rename wins), but never corrupt, and a dropped entry is re-merged on
+    // that writer's next save.
+    std::map<std::vector<double>, ResponseMap> merged;
+    if (load_snapshot(path_, fingerprint_, merged)) {
+        for (const auto& [key, responses] : table_) merged[key] = responses;
+    } else {
+        merged = table_;
+    }
+
+    // The tmp path carries the pid so two processes saving at once cannot
+    // interleave writes into one half-written temporary.
+    const std::string tmp = path_ + "." + std::to_string(::getpid()) + ".tmp";
     {
         std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-        if (!out) return false;
+        if (!out) return false;  // never opened: nothing to clean up
         out.write(kMagic, sizeof kMagic);
         out.write(reinterpret_cast<const char*>(&kFormatVersion), 1);
         write_u64(out, fingerprint_.size());
         out.write(fingerprint_.data(), static_cast<std::streamsize>(fingerprint_.size()));
-        write_u64(out, table_.size());
-        for (const auto& [key, responses] : table_) {
+        write_u64(out, merged.size());
+        for (const auto& [key, responses] : merged) {
             write_u64(out, key.size());
             out.write(reinterpret_cast<const char*>(key.data()),
                       static_cast<std::streamsize>(sizeof(double) * key.size()));
@@ -109,7 +183,12 @@ bool PersistentCache::save() const {
                 out.write(reinterpret_cast<const char*>(&value), sizeof value);
             }
         }
-        if (!out) return false;
+        if (!out) {
+            // A failed write (disk full, ...) must not leave the pid-unique
+            // temporary behind to accumulate across runs.
+            std::remove(tmp.c_str());
+            return false;
+        }
     }
     if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
         std::remove(tmp.c_str());

@@ -18,8 +18,13 @@
 //
 // Robustness: a missing, truncated, corrupt, wrong-version or
 // wrong-fingerprint file is treated as a cold cache (never an error), and
-// save() writes to a temporary file first and renames it into place, so a
-// crash mid-save cannot destroy the previous snapshot.
+// save() writes to a per-process temporary file first and renames it into
+// place, so a crash mid-save cannot destroy the previous snapshot and
+// concurrent savers cannot interleave into one half-written file. save()
+// also merges compatible entries already on disk into the snapshot it
+// writes (in-memory entries win), so several processes sharing one file as
+// their result store converge to the union of their tables instead of the
+// last writer clobbering the rest.
 #pragma once
 
 #include <memory>
@@ -48,7 +53,8 @@ public:
     std::size_t cache_hits() const override { return hits_ + inner_->cache_hits(); }
     std::size_t batches() const override { return inner_->batches(); }
 
-    /// Snapshot the table to disk (atomic replace). False on I/O failure.
+    /// Snapshot the table to disk (atomic replace), merged with compatible
+    /// entries already in the file. False on I/O failure.
     bool save() const;
     /// True when construction restored a compatible snapshot.
     bool restored() const { return restored_; }

@@ -139,4 +139,15 @@ std::string append_history_line(const std::string& file, const std::string& line
     return out ? target.string() : std::string{};
 }
 
+std::string append_history_or_warn(const std::string& file, const std::string& line,
+                                   std::ostream& os) {
+    const std::string written = append_history_line(file, line);
+    if (written.empty()) {
+        os << "WARNING: could not append to the bench/history ledger\n";
+    } else {
+        os << "Results appended to " << written << "\n";
+    }
+    return written;
+}
+
 }  // namespace ehdoe::core

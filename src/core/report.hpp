@@ -58,4 +58,11 @@ std::string format_seconds(double seconds);
 /// path written, or an empty string on I/O failure.
 std::string append_history_line(const std::string& file, const std::string& line);
 
+/// The one ledger-emission convention every bench shares: append `line` to
+/// the `file` ledger and report the outcome on `os` ("... appended to
+/// <path>" or the could-not-append warning). Returns the path written, or
+/// an empty string on failure.
+std::string append_history_or_warn(const std::string& file, const std::string& line,
+                                   std::ostream& os);
+
 }  // namespace ehdoe::core

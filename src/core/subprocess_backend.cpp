@@ -1,107 +1,18 @@
 #include "core/subprocess_backend.hpp"
 
-#include <sys/socket.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
 #include <atomic>
-#include <cerrno>
 #include <chrono>
-#include <cstdint>
-#include <cstdio>
-#include <cstring>
 #include <mutex>
-#include <set>
 #include <stdexcept>
 #include <thread>
 
 #include "core/thread_pool.hpp"
+#include "net/wire.hpp"
 
 namespace ehdoe::core {
-
-namespace {
-
-// Parent-side command sockets of *every* live SubprocessBackend in this
-// process. A worker forked later inherits the earlier backends' parent fds;
-// unless the child closes them, those workers would never see EOF when their
-// own backend shuts down. Registered here so every fresh child can drop all
-// of them.
-std::mutex g_parent_fds_mutex;
-std::set<int> g_parent_fds;
-
-bool read_exact(int fd, void* buf, std::size_t len) {
-    auto* p = static_cast<unsigned char*>(buf);
-    while (len > 0) {
-        const ssize_t r = ::recv(fd, p, len, 0);
-        if (r > 0) {
-            p += r;
-            len -= static_cast<std::size_t>(r);
-            continue;
-        }
-        if (r < 0 && (errno == EINTR)) continue;
-        return false;  // EOF or hard error: the peer is gone
-    }
-    return true;
-}
-
-bool write_all(int fd, const void* buf, std::size_t len) {
-    const auto* p = static_cast<const unsigned char*>(buf);
-    while (len > 0) {
-        // MSG_NOSIGNAL: a dead peer must surface as EPIPE, not SIGPIPE.
-        const ssize_t w = ::send(fd, p, len, MSG_NOSIGNAL);
-        if (w > 0) {
-            p += w;
-            len -= static_cast<std::size_t>(w);
-            continue;
-        }
-        if (w < 0 && errno == EINTR) continue;
-        return false;
-    }
-    return true;
-}
-
-bool write_u64(int fd, std::uint64_t v) { return write_all(fd, &v, sizeof v); }
-bool read_u64(int fd, std::uint64_t& v) { return read_exact(fd, &v, sizeof v); }
-
-constexpr std::uint64_t kStatusOk = 0;
-constexpr std::uint64_t kStatusError = 1;
-
-/// The child's whole life: serve request frames until EOF. Never returns.
-[[noreturn]] void worker_loop(int fd, const Simulation& sim, std::size_t replicates) {
-    for (;;) {
-        std::uint64_t dim = 0;
-        if (!read_u64(fd, dim)) ::_exit(0);  // parent closed: clean shutdown
-        Vector point(static_cast<std::size_t>(dim));
-        if (!read_exact(fd, point.data(), sizeof(double) * point.size())) ::_exit(0);
-
-        bool ok = false;
-        ResponseMap result;
-        std::string error;
-        try {
-            result = simulate_replicated(sim, point, replicates);
-            ok = true;
-        } catch (const std::exception& e) {
-            error = e.what();
-        } catch (...) {
-            error = "unknown exception in worker simulation";
-        }
-
-        bool sent = write_u64(fd, ok ? kStatusOk : kStatusError);
-        if (sent && ok) {
-            sent = write_u64(fd, result.size());
-            for (const auto& [name, value] : result) {
-                if (!sent) break;
-                sent = write_u64(fd, name.size()) && write_all(fd, name.data(), name.size()) &&
-                       write_all(fd, &value, sizeof value);
-            }
-        } else if (sent) {
-            sent = write_u64(fd, error.size()) && write_all(fd, error.data(), error.size());
-        }
-        if (!sent) ::_exit(2);  // parent vanished mid-frame
-    }
-}
-
-}  // namespace
 
 SubprocessBackend::SubprocessBackend(Simulation sim, BackendOptions options)
     : sim_(std::move(sim)), options_(std::move(options)) {
@@ -111,54 +22,21 @@ SubprocessBackend::SubprocessBackend(Simulation sim, BackendOptions options)
     const std::size_t n =
         options_.threads == 0 ? ThreadPool::hardware_threads() : options_.threads;
     workers_.reserve(n);
-    for (std::size_t i = 0; i < n; ++i) spawn_worker(options_.replicates);
+    for (std::size_t i = 0; i < n; ++i) workers_.push_back(spawn_worker(options_.replicates));
 }
 
-void SubprocessBackend::spawn_worker(std::size_t replicates) {
-    int fds[2];
-    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0)
-        throw std::runtime_error("SubprocessBackend: socketpair failed");
-
-    // Flush stdio so the child does not replay buffered output.
-    std::fflush(stdout);
-    std::fflush(stderr);
-
-    const pid_t pid = ::fork();
-    if (pid < 0) {
-        ::close(fds[0]);
-        ::close(fds[1]);
-        throw std::runtime_error("SubprocessBackend: fork failed");
-    }
-    if (pid == 0) {
-        // Child: drop every parent-side command socket in the process (its
-        // own pair's parent end included), keep only its worker end.
-        {
-            std::lock_guard<std::mutex> lock(g_parent_fds_mutex);
-            for (const int fd : g_parent_fds) ::close(fd);
-        }
-        ::close(fds[0]);
-        worker_loop(fds[1], sim_, replicates);
-    }
-
-    // Parent.
-    ::close(fds[1]);
-    {
-        std::lock_guard<std::mutex> lock(g_parent_fds_mutex);
-        g_parent_fds.insert(fds[0]);
-    }
+SubprocessBackend::Worker SubprocessBackend::spawn_worker(std::size_t replicates) {
+    const net::ForkedWorker forked = net::fork_eval_worker(sim_, replicates);
     Worker w;
-    w.pid = pid;
-    w.fd = fds[0];
+    w.pid = forked.pid;
+    w.fd = forked.fd;
     w.alive = true;
-    workers_.push_back(w);
+    return w;
 }
 
 void SubprocessBackend::retire(Worker& w) {
     if (w.fd >= 0) {
-        {
-            std::lock_guard<std::mutex> lock(g_parent_fds_mutex);
-            g_parent_fds.erase(w.fd);
-        }
+        net::unregister_parent_fd(w.fd);
         ::close(w.fd);
         w.fd = -1;
     }
@@ -168,6 +46,16 @@ void SubprocessBackend::retire(Worker& w) {
         w.pid = -1;
     }
     w.alive = false;
+}
+
+void SubprocessBackend::respawn_dead_workers() {
+    for (auto& w : workers_) {
+        if (w.alive) continue;
+        if (respawns_ >= options_.worker_respawns) continue;  // budget spent
+        retire(w);  // reap if the crash left the slot half-closed
+        w = spawn_worker(options_.replicates);
+        ++respawns_;
+    }
 }
 
 SubprocessBackend::~SubprocessBackend() {
@@ -185,6 +73,7 @@ std::vector<ResponseMap> SubprocessBackend::evaluate(const std::vector<Vector>& 
     const std::size_t n = points.size();
     std::vector<ResponseMap> out(n);
     if (n == 0) return out;
+    respawn_dead_workers();
     if (live_workers() == 0)
         throw std::runtime_error("SubprocessBackend: no live workers");
 
@@ -229,49 +118,28 @@ std::vector<ResponseMap> SubprocessBackend::evaluate(const std::vector<Vector>& 
             const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
             if (i >= n) return;
             dispatched.fetch_add(1, std::memory_order_relaxed);
-            const Vector& p = points[i];
 
-            bool io_ok = write_u64(w.fd, p.size()) &&
-                         write_all(w.fd, p.data(), sizeof(double) * p.size());
-            std::uint64_t status = kStatusError;
-            if (io_ok) io_ok = read_u64(w.fd, status);
+            net::EvalResult result;
+            const bool io_ok =
+                net::write_request(w.fd, points[i]) && net::read_result(w.fd, result);
 
-            if (io_ok && status == kStatusOk) {
-                std::uint64_t n_resp = 0;
-                io_ok = read_u64(w.fd, n_resp);
-                ResponseMap r;
-                for (std::uint64_t j = 0; io_ok && j < n_resp; ++j) {
-                    std::uint64_t len = 0;
-                    io_ok = read_u64(w.fd, len);
-                    std::string name(static_cast<std::size_t>(len), '\0');
-                    double value = 0.0;
-                    if (io_ok) io_ok = read_exact(w.fd, name.data(), name.size());
-                    if (io_ok) io_ok = read_exact(w.fd, &value, sizeof value);
-                    if (io_ok) r.emplace(std::move(name), value);
-                }
-                if (io_ok) {
-                    out[i] = std::move(r);
-                    simulations_done.fetch_add(options_.replicates, std::memory_order_relaxed);
-                    try {
-                        report_point();
-                    } catch (...) {
-                        callback_errors[i] = std::current_exception();
-                        failed.store(true, std::memory_order_relaxed);
-                    }
-                    continue;
-                }
-            } else if (io_ok && status == kStatusError) {
-                std::uint64_t len = 0;
-                io_ok = read_u64(w.fd, len);
-                std::string msg(static_cast<std::size_t>(len), '\0');
-                if (io_ok) io_ok = read_exact(w.fd, msg.data(), msg.size());
-                if (io_ok) {
-                    errors[i] = "SubprocessBackend: simulation failed at point " +
-                                std::to_string(i) + ": " + msg;
-                    has_error[i] = 1;
+            if (io_ok && result.ok) {
+                out[i] = std::move(result.responses);
+                simulations_done.fetch_add(options_.replicates, std::memory_order_relaxed);
+                try {
+                    report_point();
+                } catch (...) {
+                    callback_errors[i] = std::current_exception();
                     failed.store(true, std::memory_order_relaxed);
-                    continue;  // worker is fine, only the simulation threw
                 }
+                continue;
+            }
+            if (io_ok) {
+                errors[i] = "SubprocessBackend: simulation failed at point " +
+                            std::to_string(i) + ": " + result.error;
+                has_error[i] = 1;
+                failed.store(true, std::memory_order_relaxed);
+                continue;  // worker is fine, only the simulation threw
             }
 
             // Broken frame or dead peer: the worker crashed mid-point.
@@ -291,7 +159,8 @@ std::vector<ResponseMap> SubprocessBackend::evaluate(const std::vector<Vector>& 
     }
     for (auto& t : drivers) t.join();
 
-    // Reap crashed workers promptly (their sockets stay closed for good).
+    // Reap crashed workers promptly; their slots respawn on the next
+    // evaluate() while the budget lasts.
     for (auto& w : workers_) {
         if (!w.alive && w.fd >= 0) retire(w);
     }

@@ -1,26 +1,26 @@
 // ehdoe/core/subprocess_backend.hpp
 //
 // Multi-process evaluation backend: shards points across a pool of forked
-// worker processes, each speaking a simple length-prefixed protocol over a
-// UNIX socketpair. This is the stepping stone to the paper's real workload —
-// external HDL co-simulations that cannot share one address space — while
-// staying a drop-in EvalBackend for the toolkit's own simulations (the
-// workers inherit the Simulation closure via fork()).
+// worker processes, each speaking the toolkit's length-prefixed evaluation
+// protocol (net/wire.hpp — the same codec the TCP eval-server speaks) over
+// a UNIX socketpair. This is the stepping stone to the paper's real
+// workload — external HDL co-simulations that cannot share one address
+// space — while staying a drop-in EvalBackend for the toolkit's own
+// simulations (the workers inherit the Simulation closure via fork()).
 //
-// Protocol (host-endian, binary; one frame per message):
-//   request  := u64 dim, dim x f64               (parent -> worker)
-//   response := u64 status                       (worker -> parent)
-//               status 0: u64 n, n x { u64 name_len, bytes, f64 value }
-//               status 1: u64 msg_len, bytes     (simulation threw)
 // Closing the parent-side socket is the shutdown signal; workers _exit(0)
 // on EOF.
 //
 // Failure contract: a worker that crashes (or a simulation that throws in a
 // worker) surfaces as a std::runtime_error thrown in input (= design) order
 // after in-flight points drain — the original exception *type* cannot cross
-// the process boundary, but its message does. Results are bitwise identical
-// to in-process evaluation: the same machine code runs on the same doubles,
-// and the raw bits travel over the pipe.
+// the process boundary, but its message does. The point that killed the
+// worker always errors; the worker itself is replaced at the start of the
+// next evaluate() while the bounded respawn budget
+// (BackendOptions::worker_respawns) lasts, so long optimization runs do not
+// decay to serial execution. Results are bitwise identical to in-process
+// evaluation: the same machine code runs on the same doubles, and the raw
+// bits travel over the pipe.
 #pragma once
 
 #include <sys/types.h>
@@ -44,14 +44,17 @@ public:
     std::vector<ResponseMap> evaluate(const std::vector<Vector>& points) override;
 
     std::string name() const override { return "subprocess"; }
-    /// Workers still accepting work (crashed workers are retired for good).
+    /// Workers currently accepting work (crashed ones respawn at the next
+    /// evaluate() while the respawn budget lasts).
     std::size_t concurrency() const override { return live_workers(); }
     std::size_t simulations() const override { return simulations_; }
     /// One dispatch unit per point round-trip.
     std::size_t batches() const override { return batches_; }
 
-    /// Workers still accepting work (diagnostic; crashed workers are retired).
+    /// Workers currently accepting work (diagnostic).
     std::size_t live_workers() const;
+    /// Crashed workers replaced so far (bounded by options.worker_respawns).
+    std::size_t respawns() const { return respawns_; }
 
 private:
     struct Worker {
@@ -60,14 +63,16 @@ private:
         bool alive = false;
     };
 
-    void spawn_worker(std::size_t replicates);
+    Worker spawn_worker(std::size_t replicates);
     void retire(Worker& w);
+    void respawn_dead_workers();
 
     Simulation sim_;
     BackendOptions options_;
     std::vector<Worker> workers_;
     std::size_t simulations_ = 0;
     std::size_t batches_ = 0;
+    std::size_t respawns_ = 0;
 };
 
 }  // namespace ehdoe::core

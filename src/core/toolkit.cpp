@@ -15,6 +15,7 @@ DesignFlow::DesignFlow(doe::DesignSpace space, doe::Simulation simulation, Optio
     if (!simulation) throw std::invalid_argument("DesignFlow: simulation required");
     doe::RunnerOptions ro;
     ro.backend = options_.backend;
+    ro.endpoints = options_.endpoints;
     ro.threads = options_.runner_threads;
     ro.batch_size = options_.runner_batch_size;
     ro.memoize = options_.memoize;

@@ -56,8 +56,14 @@ public:
         doe::CcdOptions ccd{doe::CcdVariant::FaceCentred, doe::CcdAlpha::Rotatable, 4, true};
         rsm::ModelOrder order = rsm::ModelOrder::Quadratic;
         /// Evaluation backend of the batch engine: in-process thread pool
-        /// (default) or a pool of forked worker processes.
+        /// (default) or a pool of forked worker processes. Ignored when
+        /// `endpoints` is non-empty.
         core::BackendKind backend = core::BackendKind::InProcess;
+        /// Remote eval-server endpoints ("host:port"); non-empty shards
+        /// every simulation batch of the flow across these servers (the
+        /// distributed evaluation service, src/net/). Pair with
+        /// `cache_fingerprint` — it doubles as the handshake identity.
+        std::vector<std::string> endpoints;
         /// Workers (threads or processes) of the batch engine; 0 = all
         /// hardware.
         std::size_t runner_threads = 1;

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "core/persistent_cache.hpp"
+#include "net/remote_backend.hpp"
 
 namespace ehdoe::doe {
 
@@ -23,20 +24,37 @@ BatchRunner::BatchRunner(Simulation sim, RunnerOptions options)
     if (!sim) throw std::invalid_argument("BatchRunner: simulation required");
     if (options_.replicates == 0) throw std::invalid_argument("BatchRunner: replicates >= 1");
 
-    core::BackendOptions bo;
-    bo.threads = options_.threads;
-    bo.batch_size = options_.batch_size;
-    bo.replicates = options_.replicates;
+    // Fold the orchestrator's memo hits of the call in flight into the
+    // backend's progress reports (backends only see unique misses).
+    std::function<void(const BatchProgress&)> on_batch;
     if (options_.on_batch) {
-        // Fold the orchestrator's memo hits of the call in flight into the
-        // backend's progress reports (backends only see unique misses).
-        bo.on_batch = [this](const BatchProgress& p) {
+        on_batch = [this](const BatchProgress& p) {
             BatchProgress q = p;
             q.cache_hits = call_hits_;
             options_.on_batch(q);
         };
     }
-    backend_ = core::make_backend(std::move(sim), options_.backend, bo);
+    if (!options_.endpoints.empty()) {
+        // Remote sharded execution: the servers own the simulation; the
+        // handshake identity is the same fingerprint the persistent cache
+        // uses, so one string names the simulation everywhere.
+        net::RemoteBackendOptions ro;
+        ro.endpoints.reserve(options_.endpoints.size());
+        for (const std::string& spec : options_.endpoints) {
+            ro.endpoints.push_back(net::parse_endpoint(spec));
+        }
+        ro.fingerprint = options_.cache_fingerprint;
+        ro.replicates = options_.replicates;
+        ro.on_batch = std::move(on_batch);
+        backend_ = std::make_shared<net::RemoteBackend>(std::move(ro));
+    } else {
+        core::BackendOptions bo;
+        bo.threads = options_.threads;
+        bo.batch_size = options_.batch_size;
+        bo.replicates = options_.replicates;
+        bo.on_batch = std::move(on_batch);
+        backend_ = core::make_backend(std::move(sim), options_.backend, bo);
+    }
     if (!options_.cache_file.empty()) {
         // The replicate count is part of the cache identity: entries hold
         // replicate-averaged responses, which a run with a different count

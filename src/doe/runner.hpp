@@ -50,8 +50,15 @@ struct RunResults {
 struct RunnerOptions {
     /// Execution strategy: in-process thread pool (default) or a pool of
     /// forked worker processes (the stepping stone to external HDL
-    /// co-simulations).
+    /// co-simulations). Ignored when `endpoints` is non-empty.
     core::BackendKind backend = core::BackendKind::InProcess;
+    /// Remote eval-server endpoints ("host:port"). Non-empty routes
+    /// evaluation through a net::RemoteBackend that shards each batch
+    /// across these servers (see net/remote_backend.hpp) instead of a
+    /// local backend; `threads` then describes the remote servers and is
+    /// ignored locally, while `cache_fingerprint` doubles as the handshake
+    /// identity the servers must match.
+    std::vector<std::string> endpoints;
     /// Number of workers (threads or processes); 1 = serial, 0 = all
     /// hardware threads. Simulations must be thread-safe pure functions of
     /// their input (all toolkit simulations are).

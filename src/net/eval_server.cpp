@@ -1,0 +1,382 @@
+#include "net/eval_server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <stdexcept>
+#include <utility>
+
+#include "core/thread_pool.hpp"
+
+namespace ehdoe::net {
+
+// ---------------------------------------------------------------------------
+// Forked pipe-worker pool (subprocess worker mode). A free-list of workers
+// speaking the wire protocol over socketpairs; evaluate() checks one out,
+// does a synchronous round-trip and checks it back in. A crashed worker is
+// reaped, reported as an error result for its point, and replaced while the
+// respawn budget lasts.
+// ---------------------------------------------------------------------------
+
+struct EvalServer::PipeWorkerPool {
+    struct Worker {
+        pid_t pid = -1;
+        int fd = -1;
+    };
+
+    PipeWorkerPool(const core::Simulation& sim, std::size_t count, std::size_t replicates,
+                   std::size_t respawn_budget)
+        : sim_(sim), replicates_(replicates), respawn_budget_(respawn_budget) {
+        for (std::size_t i = 0; i < count; ++i) {
+            const ForkedWorker w = fork_eval_worker(sim_, replicates_);
+            free_.push_back({w.pid, w.fd});
+        }
+        live_ = count;
+    }
+
+    ~PipeWorkerPool() {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (const Worker& w : free_) retire(w);
+        free_.clear();
+        // Checked-out workers belong to in-flight evaluations; stop() joins
+        // those threads before the pool is destroyed, so none remain here.
+    }
+
+    EvalResult evaluate(const Vector& point) {
+        Worker w;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock, [&] { return !free_.empty() || live_ == 0; });
+            if (free_.empty()) {
+                EvalResult dead;
+                dead.error = "eval-server: no live workers remain on this shard";
+                return dead;
+            }
+            w = free_.front();
+            free_.pop_front();
+        }
+
+        EvalResult result;
+        const bool io_ok = write_request(w.fd, point) && read_result(w.fd, result);
+        if (io_ok) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            free_.push_back(w);
+            cv_.notify_one();
+            return result;
+        }
+
+        // The worker crashed mid-point: reap it, answer the request with a
+        // clean error frame, and respawn while the budget lasts.
+        result = EvalResult{};
+        result.error =
+            "eval-server: worker (pid " + std::to_string(w.pid) + ") died evaluating the point";
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            retire(w);
+            --live_;
+            if (respawns_ < respawn_budget_) {
+                const ForkedWorker fresh = fork_eval_worker(sim_, replicates_);
+                free_.push_back({fresh.pid, fresh.fd});
+                ++live_;
+                ++respawns_;
+            }
+            cv_.notify_all();
+        }
+        return result;
+    }
+
+    std::size_t live() const {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return live_;
+    }
+
+private:
+    static void retire(const Worker& w) {
+        if (w.fd >= 0) {
+            unregister_parent_fd(w.fd);
+            ::close(w.fd);
+        }
+        if (w.pid > 0) {
+            int status = 0;
+            ::waitpid(w.pid, &status, 0);
+        }
+    }
+
+    const core::Simulation& sim_;
+    std::size_t replicates_;
+    std::size_t respawn_budget_;
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    std::deque<Worker> free_;
+    std::size_t live_ = 0;
+    std::size_t respawns_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// EvalServer
+// ---------------------------------------------------------------------------
+
+EvalServer::EvalServer(core::Simulation sim, EvalServerOptions options)
+    : sim_(std::move(sim)), options_(std::move(options)) {
+    if (!sim_) throw std::invalid_argument("EvalServer: simulation required");
+    if (options_.replicates == 0) throw std::invalid_argument("EvalServer: replicates >= 1");
+    if (options_.workers == 0) options_.workers = core::ThreadPool::hardware_threads();
+}
+
+EvalServer::~EvalServer() { stop(); }
+
+void EvalServer::start() {
+    if (running_.load()) throw std::logic_error("EvalServer: already started");
+    stopping_.store(false);
+
+    // Fork the pipe workers (if any) before the listener and thread pool
+    // exist: fork-before-threads, and the workers must not inherit sockets.
+    if (options_.worker_kind == core::BackendKind::Subprocess) {
+        pipe_workers_ = std::make_unique<PipeWorkerPool>(sim_, options_.workers,
+                                                         options_.replicates,
+                                                         options_.worker_respawns);
+    }
+    pool_ = std::make_unique<core::ThreadPool>(options_.workers);
+
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) throw std::runtime_error("EvalServer: socket failed");
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(options_.port);
+    if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        throw std::runtime_error("EvalServer: bad host '" + options_.host + "'");
+    }
+    if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0 ||
+        ::listen(listen_fd_, 64) != 0) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        throw std::runtime_error("EvalServer: cannot listen on " + options_.host + ":" +
+                                 std::to_string(options_.port));
+    }
+
+    // Resolve the bound port (ephemeral binds) for port().
+    sockaddr_in bound{};
+    socklen_t len = sizeof bound;
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+        port_ = ntohs(bound.sin_port);
+    }
+
+    register_parent_fd(listen_fd_);
+    running_.store(true);
+    accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void EvalServer::stop() {
+    if (!running_.exchange(false)) return;
+    stopping_.store(true);
+
+    // Wake the accept loop, then every connection reader/writer.
+    if (listen_fd_ >= 0) {
+        ::shutdown(listen_fd_, SHUT_RDWR);
+    }
+    if (accept_thread_.joinable()) accept_thread_.join();
+    if (listen_fd_ >= 0) {
+        unregister_parent_fd(listen_fd_);
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+    }
+    {
+        std::lock_guard<std::mutex> lock(connections_mutex_);
+        for (Connection& c : open_connections_) {
+            if (c.fd >= 0) ::shutdown(c.fd, SHUT_RDWR);
+        }
+    }
+    for (;;) {
+        std::list<Connection> finished;
+        {
+            std::lock_guard<std::mutex> lock(connections_mutex_);
+            if (open_connections_.empty()) break;
+            finished.splice(finished.begin(), open_connections_);
+        }
+        for (Connection& c : finished) {
+            if (c.thread.joinable()) c.thread.join();
+        }
+    }
+    pool_.reset();          // drains in-flight evaluations
+    pipe_workers_.reset();  // closes pipes; workers _exit(0) on EOF
+}
+
+void EvalServer::reap_finished_connections() {
+    std::list<Connection> finished;
+    {
+        std::lock_guard<std::mutex> lock(connections_mutex_);
+        for (auto it = open_connections_.begin(); it != open_connections_.end();) {
+            if (it->done.load()) {
+                finished.splice(finished.begin(), open_connections_, it++);
+            } else {
+                ++it;
+            }
+        }
+    }
+    for (Connection& c : finished) {
+        if (c.thread.joinable()) c.thread.join();
+    }
+}
+
+void EvalServer::accept_loop() {
+    for (;;) {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (stopping_.load()) return;
+            // Transient failures must not kill a long-lived daemon: a peer
+            // that RSTs before we accept (ECONNABORTED), a signal, or a
+            // momentary fd shortage (back off and let connections close).
+            if (errno == EINTR || errno == ECONNABORTED) continue;
+            if (errno == EMFILE || errno == ENFILE) {
+                std::this_thread::sleep_for(std::chrono::milliseconds(50));
+                continue;
+            }
+            return;  // the listener itself is gone; nothing left to accept
+        }
+        if (stopping_.load()) {
+            ::close(fd);
+            return;
+        }
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+        register_parent_fd(fd);
+        connections_.fetch_add(1);
+        reap_finished_connections();
+
+        std::lock_guard<std::mutex> lock(connections_mutex_);
+        open_connections_.emplace_back();
+        Connection& conn = open_connections_.back();
+        conn.fd = fd;
+        conn.thread = std::thread([this, &conn] { serve_connection(conn); });
+    }
+}
+
+EvalResult EvalServer::evaluate_one(const Vector& point) {
+    if (pipe_workers_) return pipe_workers_->evaluate(point);
+    EvalResult result;
+    try {
+        result.responses = core::simulate_replicated(sim_, point, options_.replicates);
+        result.ok = true;
+    } catch (const std::exception& e) {
+        result.error = e.what();
+    } catch (...) {
+        result.error = "unknown exception in server simulation";
+    }
+    return result;
+}
+
+void EvalServer::serve_connection(Connection& conn) {
+    const int fd = conn.fd;
+
+    // Handshake: reject mismatched peers with a message, then close. The
+    // rejection is counted *before* the welcome frame goes out, so a
+    // client that has observed the refusal also observes the counter.
+    Hello hello;
+    bool accepted = false;
+    std::string refusal;
+    if (read_hello(fd, hello)) {
+        if (hello.version != kProtocolVersion) {
+            refusal = "protocol version mismatch: server speaks " +
+                      std::to_string(kProtocolVersion) + ", client sent " +
+                      std::to_string(hello.version);
+        } else if (hello.fingerprint != options_.fingerprint) {
+            refusal = "scenario fingerprint mismatch: server evaluates '" +
+                      options_.fingerprint + "', client wants '" + hello.fingerprint + "'";
+        } else if (hello.replicates != options_.replicates) {
+            refusal = "replicates mismatch: server averages " +
+                      std::to_string(options_.replicates) + ", client wants " +
+                      std::to_string(hello.replicates);
+        }
+        if (refusal.empty()) {
+            accepted = write_welcome(fd, kStatusOk, "");
+        } else {
+            rejected_.fetch_add(1);
+            write_welcome(fd, kStatusError, refusal);
+        }
+    } else {
+        rejected_.fetch_add(1);  // garbage or a vanished peer: no reply possible
+    }
+    if (accepted) {
+        // Pipelined serving: the reader (this thread) decodes requests and
+        // fans them out to the worker pool; the writer drains completed
+        // futures in request order, so responses stay FIFO no matter how
+        // the pool schedules the work.
+        std::mutex qmutex;
+        std::condition_variable qcv;
+        std::deque<std::future<EvalResult>> queue;
+        bool reader_done = false;
+        bool broken = false;  // write failed: the client is gone
+
+        std::thread writer([&] {
+            for (;;) {
+                std::future<EvalResult> next;
+                {
+                    std::unique_lock<std::mutex> lock(qmutex);
+                    qcv.wait(lock, [&] { return !queue.empty() || reader_done; });
+                    if (queue.empty()) return;  // reader finished and drained
+                    next = std::move(queue.front());
+                    queue.pop_front();
+                }
+                const EvalResult result = next.get();
+                if (result.ok) {
+                    served_.fetch_add(1);
+                } else {
+                    failed_.fetch_add(1);
+                }
+                if (!write_result(fd, result)) {
+                    std::lock_guard<std::mutex> lock(qmutex);
+                    broken = true;
+                    // Keep draining futures (the pool owns their promises)
+                    // but stop writing; the reader notices via `broken`.
+                }
+            }
+        });
+
+        Vector point;
+        while (read_request(fd, point)) {
+            {
+                std::lock_guard<std::mutex> lock(qmutex);
+                if (broken) break;
+            }
+            auto promise = std::make_shared<std::promise<EvalResult>>();
+            auto future = promise->get_future();
+            pool_->submit([this, promise, point] { promise->set_value(evaluate_one(point)); });
+            std::lock_guard<std::mutex> lock(qmutex);
+            queue.push_back(std::move(future));
+            qcv.notify_one();
+        }
+        {
+            std::lock_guard<std::mutex> lock(qmutex);
+            reader_done = true;
+            qcv.notify_all();
+        }
+        writer.join();
+    }
+
+    // Disown the fd under the lock *before* closing it: stop() must never
+    // see a still-registered fd that this thread has already closed (the
+    // number could have been recycled by an unrelated socket).
+    {
+        std::lock_guard<std::mutex> lock(connections_mutex_);
+        conn.fd = -1;
+    }
+    unregister_parent_fd(fd);
+    ::close(fd);
+    conn.done.store(true);
+}
+
+}  // namespace ehdoe::net

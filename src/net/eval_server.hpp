@@ -1,0 +1,128 @@
+// ehdoe/net/eval_server.hpp
+//
+// The eval-server daemon: one shard of the distributed evaluation service.
+// Listens on a TCP socket, hosts a pool of in-process or forked-subprocess
+// workers, and serves the versioned wire protocol (net/wire.hpp):
+//
+//   client                         server
+//     | -- hello (version, fp, reps) ->|   handshake: mismatched protocol
+//     | <- welcome (ok / reject) ------|   version, scenario fingerprint or
+//     | -- request (point) ----------->|   replicate count is rejected with
+//     | -- request (point) ----------->|   a message, never served garbage
+//     | <- result (responses/error) ---|
+//     | <- result (responses/error) ---|
+//
+// Requests pipeline: a client may keep several points in flight per
+// connection; responses come back in request order (FIFO). Each request is
+// evaluated by the shared worker pool, so pipelined points from one
+// connection — and points from concurrent connections — run in parallel up
+// to the configured worker count.
+//
+// A simulation that throws answers *that* request with an error frame; the
+// connection (and the server) stays up. With subprocess workers, a worker
+// that crashes outright also answers with an error frame, and the worker
+// is replaced while the bounded respawn budget lasts — one poisoned point
+// cannot take the shard down. The ehdoe-eval-server binary
+// (tools/eval_server_main.cpp) wraps this class behind CLI flags.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/wire.hpp"
+
+namespace ehdoe::core {
+class ThreadPool;
+}
+
+namespace ehdoe::net {
+
+struct EvalServerOptions {
+    /// Interface to bind; loopback by default (shards on one box / tests).
+    std::string host = "127.0.0.1";
+    /// TCP port; 0 binds an ephemeral port, readable via port() after
+    /// start().
+    std::uint16_t port = 0;
+    /// Evaluation workers (threads or processes); 0 = all hardware threads.
+    std::size_t workers = 1;
+    /// Where workers run: in-process thread pool, or forked worker
+    /// processes (the crash-isolated mode for external co-simulators).
+    core::BackendKind worker_kind = core::BackendKind::InProcess;
+    /// Replicates averaged per point; part of the handshake identity.
+    std::size_t replicates = 1;
+    /// Crashed subprocess-worker respawn budget (see BackendOptions).
+    std::size_t worker_respawns = 3;
+    /// Simulation identity (e.g. Scenario::fingerprint()); a client whose
+    /// hello carries a different fingerprint is rejected at handshake.
+    std::string fingerprint;
+};
+
+class EvalServer {
+public:
+    EvalServer(core::Simulation sim, EvalServerOptions options);
+    /// stop()s if still running.
+    ~EvalServer();
+
+    EvalServer(const EvalServer&) = delete;
+    EvalServer& operator=(const EvalServer&) = delete;
+
+    /// Bind + listen + start accepting. Throws on bind failure.
+    void start();
+    /// Shut every connection down, join all threads, reap workers.
+    /// Idempotent.
+    void stop();
+    bool running() const { return running_.load(); }
+
+    /// The bound TCP port (resolves ephemeral binds); valid after start().
+    std::uint16_t port() const { return port_; }
+    const EvalServerOptions& options() const { return options_; }
+
+    // Lifetime counters (monotonic, readable from any thread).
+    std::size_t connections_accepted() const { return connections_.load(); }
+    std::size_t handshakes_rejected() const { return rejected_.load(); }
+    /// Points answered with a result frame (simulations = this x replicates).
+    std::size_t points_served() const { return served_.load(); }
+    /// Points answered with an error frame (sim threw or worker crashed).
+    std::size_t points_failed() const { return failed_.load(); }
+
+private:
+    struct PipeWorkerPool;
+    struct Connection {
+        int fd = -1;
+        std::thread thread;
+        std::atomic<bool> done{false};
+    };
+
+    void accept_loop();
+    void serve_connection(Connection& conn);
+    EvalResult evaluate_one(const Vector& point);
+    void reap_finished_connections();
+
+    core::Simulation sim_;
+    EvalServerOptions options_;
+
+    int listen_fd_ = -1;
+    std::uint16_t port_ = 0;
+    std::atomic<bool> running_{false};
+    std::atomic<bool> stopping_{false};
+    std::thread accept_thread_;
+
+    std::unique_ptr<core::ThreadPool> pool_;
+    std::unique_ptr<PipeWorkerPool> pipe_workers_;
+
+    std::mutex connections_mutex_;
+    std::list<Connection> open_connections_;
+
+    std::atomic<std::size_t> connections_{0};
+    std::atomic<std::size_t> rejected_{0};
+    std::atomic<std::size_t> served_{0};
+    std::atomic<std::size_t> failed_{0};
+};
+
+}  // namespace ehdoe::net

@@ -1,0 +1,342 @@
+#include "net/remote_backend.hpp"
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace ehdoe::net {
+
+Endpoint parse_endpoint(const std::string& spec) {
+    const auto colon = spec.rfind(':');
+    if (colon == std::string::npos)
+        throw std::invalid_argument("parse_endpoint: expected host:port, got '" + spec + "'");
+    Endpoint e;
+    e.host = spec.substr(0, colon);
+    if (e.host.empty()) e.host = "127.0.0.1";
+    const std::string port = spec.substr(colon + 1);
+    char* end = nullptr;
+    const long value = std::strtol(port.c_str(), &end, 10);
+    if (port.empty() || *end != '\0' || value <= 0 || value > 65535)
+        throw std::invalid_argument("parse_endpoint: bad port in '" + spec + "'");
+    e.port = static_cast<std::uint16_t>(value);
+    return e;
+}
+
+namespace {
+
+std::string endpoint_label(const Endpoint& e) {
+    return e.host + ":" + std::to_string(e.port);
+}
+
+/// Connect + handshake one endpoint; throws with the server's message on
+/// refusal, a transport diagnosis otherwise. Returns a connected fd.
+int connect_endpoint(const Endpoint& endpoint, const RemoteBackendOptions& options) {
+    addrinfo hints{};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo* found = nullptr;
+    const std::string port = std::to_string(endpoint.port);
+    if (::getaddrinfo(endpoint.host.c_str(), port.c_str(), &hints, &found) != 0 || !found)
+        throw std::runtime_error("RemoteBackend: cannot resolve endpoint " +
+                                 endpoint_label(endpoint));
+
+    int fd = -1;
+    for (addrinfo* ai = found; ai; ai = ai->ai_next) {
+        fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+        if (fd < 0) continue;
+        if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+        ::close(fd);
+        fd = -1;
+    }
+    ::freeaddrinfo(found);
+    if (fd < 0)
+        throw std::runtime_error("RemoteBackend: endpoint " + endpoint_label(endpoint) +
+                                 " is unreachable");
+
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+
+    Hello hello;
+    hello.version = kProtocolVersion;
+    hello.fingerprint = options.fingerprint;
+    hello.replicates = options.replicates;
+    std::uint64_t status = kStatusError;
+    std::string message;
+    if (!write_hello(fd, hello) || !read_welcome(fd, status, message)) {
+        ::close(fd);
+        throw std::runtime_error("RemoteBackend: handshake with " + endpoint_label(endpoint) +
+                                 " failed (connection dropped)");
+    }
+    if (status != kStatusOk) {
+        ::close(fd);
+        throw std::runtime_error("RemoteBackend: endpoint " + endpoint_label(endpoint) +
+                                 " rejected the handshake: " + message);
+    }
+    return fd;
+}
+
+}  // namespace
+
+/// One persistent shard connection plus its per-batch dispatch state.
+struct RemoteBackend::Conn {
+    Endpoint endpoint;
+    int fd = -1;
+    bool alive = false;       ///< backend-lifetime liveness (dead stays dead)
+    bool dead_batch = false;  ///< died during the batch in flight
+    std::deque<std::size_t> to_send;
+    std::deque<std::size_t> in_flight;
+};
+
+RemoteBackend::RemoteBackend(RemoteBackendOptions options) : options_(std::move(options)) {
+    if (options_.endpoints.empty())
+        throw std::invalid_argument("RemoteBackend: at least one endpoint required");
+    if (options_.replicates == 0)
+        throw std::invalid_argument("RemoteBackend: replicates >= 1");
+    if (options_.pipeline == 0) options_.pipeline = 1;
+
+    conns_.reserve(options_.endpoints.size());
+    try {
+        for (const Endpoint& e : options_.endpoints) {
+            auto conn = std::make_unique<Conn>();
+            conn->endpoint = e;
+            conn->fd = connect_endpoint(e, options_);
+            register_parent_fd(conn->fd);
+            conn->alive = true;
+            conns_.push_back(std::move(conn));
+        }
+    } catch (...) {
+        for (auto& c : conns_) {
+            unregister_parent_fd(c->fd);
+            ::close(c->fd);
+        }
+        throw;
+    }
+}
+
+RemoteBackend::~RemoteBackend() {
+    for (auto& c : conns_) {
+        if (c->fd >= 0) {
+            unregister_parent_fd(c->fd);
+            ::close(c->fd);
+        }
+    }
+}
+
+std::size_t RemoteBackend::live_endpoints() const {
+    std::size_t n = 0;
+    for (const auto& c : conns_) n += c->alive ? 1 : 0;
+    return n;
+}
+
+std::string RemoteBackend::name() const {
+    return "remote(" + std::to_string(conns_.size()) + " shards)";
+}
+
+std::vector<core::ResponseMap> RemoteBackend::evaluate(const std::vector<Vector>& points) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::size_t n = points.size();
+    std::vector<core::ResponseMap> out(n);
+    if (n == 0) return out;
+
+    // The live set at batch start defines the deterministic assignment:
+    // point i goes to live shard (i mod n_live), in configured order.
+    std::vector<Conn*> live;
+    for (auto& c : conns_) {
+        if (c->alive) live.push_back(c.get());
+    }
+    if (live.empty()) throw std::runtime_error("RemoteBackend: no live endpoints");
+    for (Conn* c : live) {
+        c->dead_batch = false;
+        c->to_send.clear();
+        c->in_flight.clear();
+    }
+    for (std::size_t i = 0; i < n; ++i) live[i % live.size()]->to_send.push_back(i);
+
+    // Shared batch state. `unresolved` counts points without a recorded
+    // outcome; after an abort (simulation error or total endpoint loss) the
+    // batch only drains in-flight work, so the terminal condition is
+    // "nothing unresolved, or aborted with nothing in flight".
+    std::mutex mu;
+    std::condition_variable cv;
+    std::size_t unresolved = n;
+    std::size_t inflight_total = 0;
+    bool abort = false;
+    std::size_t completed = 0;
+    std::size_t dispatched = 0;
+    std::vector<std::string> errors(n);
+    std::vector<unsigned char> has_error(n, 0);
+    std::vector<std::exception_ptr> callback_errors(n);
+
+    auto finished = [&] { return unresolved == 0 || (abort && inflight_total == 0); };
+
+    // Serialized per-point progress reports under their own mutex (parity
+    // with the local backends): the callback must never run under `mu`, or
+    // user code would stall every shard's sender and receiver. Called
+    // outside `mu`; a throwing user callback is parked and rethrown in
+    // input order.
+    std::mutex progress_mutex;
+    std::size_t progress_done = 0;
+    auto report_point = [&](std::size_t idx) {
+        if (!options_.on_batch) return;
+        core::BatchProgress p;
+        std::lock_guard<std::mutex> progress_lock(progress_mutex);
+        const std::size_t done = ++progress_done;
+        p.batch_index = done - 1;
+        p.batch_count = n;
+        p.points_done = done;
+        p.points_total = n;
+        p.elapsed_seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+        p.points_per_second =
+            p.elapsed_seconds > 0.0 ? static_cast<double>(done) / p.elapsed_seconds : 0.0;
+        try {
+            options_.on_batch(p);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(mu);
+            callback_errors[idx] = std::current_exception();
+            abort = true;
+            cv.notify_all();
+        }
+    };
+
+    // Mark a shard dead and re-dispatch everything it still owed — both
+    // unsent and in-flight points (their responses will never arrive) —
+    // round-robin over the surviving shards. Idempotent per batch: the
+    // sender and receiver of a dying connection both land here.
+    auto on_conn_dead = [&](Conn& c) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (c.dead_batch) return;
+        c.dead_batch = true;
+        c.alive = false;
+        ::shutdown(c.fd, SHUT_RDWR);  // wake the peer thread blocked on I/O
+
+        inflight_total -= c.in_flight.size();
+        std::deque<std::size_t> pending;
+        pending.swap(c.in_flight);
+        pending.insert(pending.end(), c.to_send.begin(), c.to_send.end());
+        c.to_send.clear();
+
+        std::vector<Conn*> survivors;
+        for (Conn* s : live) {
+            if (!s->dead_batch) survivors.push_back(s);
+        }
+        if (survivors.empty()) {
+            for (const std::size_t idx : pending) {
+                errors[idx] = "RemoteBackend: endpoint " + endpoint_label(c.endpoint) +
+                              " died and no live endpoints remain (point " +
+                              std::to_string(idx) + ")";
+                has_error[idx] = 1;
+                --unresolved;
+            }
+            abort = true;
+        } else {
+            std::size_t rr = 0;
+            for (const std::size_t idx : pending) {
+                survivors[rr++ % survivors.size()]->to_send.push_back(idx);
+            }
+        }
+        cv.notify_all();
+    };
+
+    auto sender = [&](Conn& c) {
+        for (;;) {
+            std::size_t idx = 0;
+            {
+                std::unique_lock<std::mutex> lock(mu);
+                cv.wait(lock, [&] {
+                    return c.dead_batch || abort || finished() ||
+                           (!c.to_send.empty() && c.in_flight.size() < options_.pipeline);
+                });
+                if (c.dead_batch || abort || finished()) return;
+                idx = c.to_send.front();
+                c.to_send.pop_front();
+                c.in_flight.push_back(idx);
+                ++inflight_total;
+                ++dispatched;
+                cv.notify_all();
+            }
+            if (!write_request(c.fd, points[idx])) {
+                on_conn_dead(c);
+                return;
+            }
+        }
+    };
+
+    auto receiver = [&](Conn& c) {
+        for (;;) {
+            {
+                std::unique_lock<std::mutex> lock(mu);
+                cv.wait(lock, [&] {
+                    return c.dead_batch || !c.in_flight.empty() || finished() ||
+                           (abort && c.in_flight.empty());
+                });
+                if (c.dead_batch) return;
+                if (c.in_flight.empty()) return;  // batch done or abort-drained
+            }
+            EvalResult result;
+            if (!read_result(c.fd, result)) {
+                on_conn_dead(c);
+                return;
+            }
+            bool recorded_ok = false;
+            std::size_t recorded_idx = 0;
+            {
+                std::lock_guard<std::mutex> lock(mu);
+                // The sender may have declared this connection dead between
+                // our read and this lock; its in-flight set was
+                // re-dispatched, so discard the duplicate (re-execution is
+                // bitwise identical).
+                if (c.dead_batch) return;
+                const std::size_t idx = c.in_flight.front();
+                c.in_flight.pop_front();
+                --inflight_total;
+                if (result.ok) {
+                    out[idx] = std::move(result.responses);
+                    ++completed;
+                    --unresolved;
+                    recorded_ok = true;
+                    recorded_idx = idx;
+                } else {
+                    errors[idx] = "RemoteBackend: simulation failed at point " +
+                                  std::to_string(idx) + " on " + endpoint_label(c.endpoint) +
+                                  ": " + result.error;
+                    has_error[idx] = 1;
+                    abort = true;
+                    --unresolved;
+                }
+                cv.notify_all();
+            }
+            if (recorded_ok) report_point(recorded_idx);
+        }
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(2 * live.size());
+    for (Conn* c : live) {
+        threads.emplace_back([&sender, c] { sender(*c); });
+        threads.emplace_back([&receiver, c] { receiver(*c); });
+    }
+    for (auto& t : threads) t.join();
+
+    simulations_ += completed * options_.replicates;
+    batches_ += dispatched;
+
+    for (std::size_t i = 0; i < n; ++i) {
+        if (callback_errors[i]) std::rethrow_exception(callback_errors[i]);
+        if (has_error[i]) throw std::runtime_error(errors[i]);
+    }
+    return out;
+}
+
+}  // namespace ehdoe::net

@@ -1,0 +1,101 @@
+// ehdoe/net/remote_backend.hpp
+//
+// The client half of the distributed evaluation service: a core::EvalBackend
+// that shards every batch across N eval-server endpoints (net/eval_server.hpp)
+// over persistent TCP connections speaking the versioned wire protocol.
+//
+//  * Deterministic sharding — point i of a batch goes to live endpoint
+//    (i mod n_live), in configured endpoint order. The assignment is a pure
+//    function of the batch and the live set, so repeated runs shard
+//    identically; and because every shard runs the same binary arithmetic
+//    on the raw f64 bits, responses are bitwise identical to
+//    InProcessBackend no matter how many shards serve them.
+//
+//  * Pipelined connections — each endpoint keeps up to `pipeline` requests
+//    in flight (responses return in FIFO order), hiding the network
+//    round-trip behind the simulation time.
+//
+//  * Failover — when an endpoint dies mid-batch (connection drops), its
+//    unsent *and* in-flight points are re-dispatched round-robin to the
+//    surviving shards; simulations are pure functions, so a re-executed
+//    point yields the same bits. The batch completes with identical results
+//    as long as one shard survives; when none do, every stranded point
+//    fails with a clear error thrown in input (= design) order. A dead
+//    endpoint stays dead for the backend's lifetime.
+//
+//  * Handshake — construction connects and handshakes every endpoint
+//    (protocol version, simulation fingerprint, replicate count); any
+//    mismatch throws with the server's rejection message instead of
+//    exchanging garbage frames.
+//
+// Failure contract (shared with every backend): a simulation that fails
+// remotely surfaces as a std::runtime_error thrown in input order after
+// in-flight work drains.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/wire.hpp"
+
+namespace ehdoe::net {
+
+/// One eval-server address.
+struct Endpoint {
+    std::string host;
+    std::uint16_t port = 0;
+};
+
+/// Parse "host:port" (host defaults to 127.0.0.1 for ":port").
+Endpoint parse_endpoint(const std::string& spec);
+
+struct RemoteBackendOptions {
+    /// Shards, in the order that defines the deterministic assignment.
+    std::vector<Endpoint> endpoints;
+    /// Simulation identity sent in the handshake; must equal each server's
+    /// configured fingerprint.
+    std::string fingerprint;
+    /// Replicates the servers are expected to average (handshake-checked).
+    std::size_t replicates = 1;
+    /// Max requests in flight per connection.
+    std::size_t pipeline = 4;
+    /// Invoked per completed point (serialized), like the other backends.
+    std::function<void(const core::BatchProgress&)> on_batch;
+};
+
+class RemoteBackend : public core::EvalBackend {
+public:
+    /// Connects and handshakes every endpoint; throws on any refusal or
+    /// unreachable address (mistyped endpoints should be loud, not silently
+    /// absorbed by failover).
+    explicit RemoteBackend(RemoteBackendOptions options);
+    ~RemoteBackend() override;
+
+    RemoteBackend(const RemoteBackend&) = delete;
+    RemoteBackend& operator=(const RemoteBackend&) = delete;
+
+    std::vector<core::ResponseMap> evaluate(const std::vector<Vector>& points) override;
+
+    std::string name() const override;
+    /// Live shards (the parallelism unit the client can see).
+    std::size_t concurrency() const override { return live_endpoints(); }
+    /// Client-side view: completed points x replicates.
+    std::size_t simulations() const override { return simulations_; }
+    /// Requests dispatched (including re-dispatched ones).
+    std::size_t batches() const override { return batches_; }
+
+    std::size_t live_endpoints() const;
+    const RemoteBackendOptions& options() const { return options_; }
+
+private:
+    struct Conn;
+
+    RemoteBackendOptions options_;
+    std::vector<std::unique_ptr<Conn>> conns_;
+    std::size_t simulations_ = 0;
+    std::size_t batches_ = 0;
+};
+
+}  // namespace ehdoe::net

@@ -1,0 +1,233 @@
+#include "net/wire.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+
+namespace ehdoe::net {
+
+namespace {
+
+std::mutex g_parent_fds_mutex;
+std::set<int> g_parent_fds;
+
+}  // namespace
+
+bool read_exact(int fd, void* buf, std::size_t len) {
+    auto* p = static_cast<unsigned char*>(buf);
+    while (len > 0) {
+        const ssize_t r = ::recv(fd, p, len, 0);
+        if (r > 0) {
+            p += r;
+            len -= static_cast<std::size_t>(r);
+            continue;
+        }
+        if (r < 0 && errno == EINTR) continue;
+        return false;  // EOF or hard error: the peer is gone
+    }
+    return true;
+}
+
+bool write_all(int fd, const void* buf, std::size_t len) {
+    const auto* p = static_cast<const unsigned char*>(buf);
+    while (len > 0) {
+        // MSG_NOSIGNAL: a dead peer must surface as EPIPE, not SIGPIPE.
+        const ssize_t w = ::send(fd, p, len, MSG_NOSIGNAL);
+        if (w > 0) {
+            p += w;
+            len -= static_cast<std::size_t>(w);
+            continue;
+        }
+        if (w < 0 && errno == EINTR) continue;
+        return false;
+    }
+    return true;
+}
+
+bool read_u64(int fd, std::uint64_t& v) { return read_exact(fd, &v, sizeof v); }
+bool write_u64(int fd, std::uint64_t v) { return write_all(fd, &v, sizeof v); }
+
+// ---------------------------------------------------------------------------
+// Evaluation frames
+// ---------------------------------------------------------------------------
+
+bool write_request(int fd, const Vector& natural) {
+    return write_u64(fd, natural.size()) &&
+           write_all(fd, natural.data(), sizeof(double) * natural.size());
+}
+
+bool read_request(int fd, Vector& natural) {
+    std::uint64_t dim = 0;
+    if (!read_u64(fd, dim) || dim > kSaneLimit) return false;
+    natural = Vector(static_cast<std::size_t>(dim));
+    return read_exact(fd, natural.data(), sizeof(double) * natural.size());
+}
+
+bool write_result(int fd, const EvalResult& result) {
+    if (!write_u64(fd, result.ok ? kStatusOk : kStatusError)) return false;
+    if (result.ok) {
+        if (!write_u64(fd, result.responses.size())) return false;
+        for (const auto& [name, value] : result.responses) {
+            if (!write_u64(fd, name.size()) || !write_all(fd, name.data(), name.size()) ||
+                !write_all(fd, &value, sizeof value))
+                return false;
+        }
+        return true;
+    }
+    return write_u64(fd, result.error.size()) &&
+           write_all(fd, result.error.data(), result.error.size());
+}
+
+bool read_result(int fd, EvalResult& result) {
+    result = EvalResult{};
+    std::uint64_t status = kStatusError;
+    if (!read_u64(fd, status)) return false;
+    if (status == kStatusOk) {
+        std::uint64_t n = 0;
+        if (!read_u64(fd, n) || n > kSaneLimit) return false;
+        for (std::uint64_t j = 0; j < n; ++j) {
+            std::uint64_t len = 0;
+            if (!read_u64(fd, len) || len > kSaneLimit) return false;
+            std::string name(static_cast<std::size_t>(len), '\0');
+            double value = 0.0;
+            if (!read_exact(fd, name.data(), name.size())) return false;
+            if (!read_exact(fd, &value, sizeof value)) return false;
+            result.responses.emplace(std::move(name), value);
+        }
+        result.ok = true;
+        return true;
+    }
+    if (status != kStatusError) return false;  // unknown status: broken frame
+    std::uint64_t len = 0;
+    if (!read_u64(fd, len) || len > kSaneLimit) return false;
+    result.error.assign(static_cast<std::size_t>(len), '\0');
+    return read_exact(fd, result.error.data(), result.error.size());
+}
+
+// ---------------------------------------------------------------------------
+// Handshake frames
+// ---------------------------------------------------------------------------
+
+bool write_hello(int fd, const Hello& hello) {
+    return write_all(fd, kHandshakeMagic, sizeof kHandshakeMagic) &&
+           write_all(fd, &hello.version, sizeof hello.version) &&
+           write_u64(fd, hello.fingerprint.size()) &&
+           write_all(fd, hello.fingerprint.data(), hello.fingerprint.size()) &&
+           write_u64(fd, hello.replicates);
+}
+
+bool read_hello(int fd, Hello& hello) {
+    char magic[sizeof kHandshakeMagic];
+    if (!read_exact(fd, magic, sizeof magic)) return false;
+    for (std::size_t i = 0; i < sizeof magic; ++i) {
+        if (magic[i] != kHandshakeMagic[i]) return false;
+    }
+    if (!read_exact(fd, &hello.version, sizeof hello.version)) return false;
+    std::uint64_t fp_len = 0;
+    if (!read_u64(fd, fp_len) || fp_len > kSaneLimit) return false;
+    hello.fingerprint.assign(static_cast<std::size_t>(fp_len), '\0');
+    if (!read_exact(fd, hello.fingerprint.data(), hello.fingerprint.size())) return false;
+    return read_u64(fd, hello.replicates);
+}
+
+bool write_welcome(int fd, std::uint64_t status, const std::string& message) {
+    if (!write_u64(fd, status)) return false;
+    if (status == kStatusOk) return true;
+    return write_u64(fd, message.size()) && write_all(fd, message.data(), message.size());
+}
+
+bool read_welcome(int fd, std::uint64_t& status, std::string& message) {
+    message.clear();
+    if (!read_u64(fd, status)) return false;
+    if (status == kStatusOk) return true;
+    std::uint64_t len = 0;
+    if (!read_u64(fd, len) || len > kSaneLimit) return false;
+    message.assign(static_cast<std::size_t>(len), '\0');
+    return read_exact(fd, message.data(), message.size());
+}
+
+// ---------------------------------------------------------------------------
+// Worker loop
+// ---------------------------------------------------------------------------
+
+[[noreturn]] void eval_worker_loop(int fd, const Simulation& sim, std::size_t replicates) {
+    for (;;) {
+        Vector point;
+        if (!read_request(fd, point)) ::_exit(0);  // parent closed: clean shutdown
+
+        EvalResult result;
+        try {
+            result.responses = core::simulate_replicated(sim, point, replicates);
+            result.ok = true;
+        } catch (const std::exception& e) {
+            result.error = e.what();
+        } catch (...) {
+            result.error = "unknown exception in worker simulation";
+        }
+
+        if (!write_result(fd, result)) ::_exit(2);  // parent vanished mid-frame
+    }
+}
+
+ForkedWorker fork_eval_worker(const Simulation& sim, std::size_t replicates) {
+    int fds[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0)
+        throw std::runtime_error("fork_eval_worker: socketpair failed");
+
+    // Snapshot every parent-side transport fd in the process *before*
+    // forking: the child closes them lock-free (taking a mutex after fork
+    // could deadlock if another thread held it at fork time).
+    const std::vector<int> parent_fds = snapshot_parent_fds();
+
+    // Flush stdio so the child does not replay buffered output.
+    std::fflush(stdout);
+    std::fflush(stderr);
+
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        ::close(fds[0]);
+        ::close(fds[1]);
+        throw std::runtime_error("fork_eval_worker: fork failed");
+    }
+    if (pid == 0) {
+        // Child: drop every parent-side transport in the process (its own
+        // pair's parent end included), keep only its worker end.
+        for (const int fd : parent_fds) ::close(fd);
+        ::close(fds[0]);
+        eval_worker_loop(fds[1], sim, replicates);
+    }
+
+    // Parent.
+    ::close(fds[1]);
+    register_parent_fd(fds[0]);
+    ForkedWorker w;
+    w.pid = pid;
+    w.fd = fds[0];
+    return w;
+}
+
+// ---------------------------------------------------------------------------
+// Fork hygiene
+// ---------------------------------------------------------------------------
+
+void register_parent_fd(int fd) {
+    std::lock_guard<std::mutex> lock(g_parent_fds_mutex);
+    g_parent_fds.insert(fd);
+}
+
+void unregister_parent_fd(int fd) {
+    std::lock_guard<std::mutex> lock(g_parent_fds_mutex);
+    g_parent_fds.erase(fd);
+}
+
+std::vector<int> snapshot_parent_fds() {
+    std::lock_guard<std::mutex> lock(g_parent_fds_mutex);
+    return std::vector<int>(g_parent_fds.begin(), g_parent_fds.end());
+}
+
+}  // namespace ehdoe::net

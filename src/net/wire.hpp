@@ -1,0 +1,145 @@
+// ehdoe/net/wire.hpp
+//
+// The evaluation wire protocol: one length-prefixed binary frame codec
+// shared by every process boundary the toolkit crosses —
+//
+//  * core::SubprocessBackend's forked worker pipes (AF_UNIX socketpair),
+//  * net::EvalServer's forked worker pipes, and
+//  * the TCP connections between net::RemoteBackend and net::EvalServer.
+//
+// Frames (host-endian, binary):
+//
+//   request   := u64 dim, dim x f64                  (client -> evaluator)
+//   response  := u64 status                          (evaluator -> client)
+//                status 0: u64 n, n x { u64 name_len, bytes, f64 value }
+//                status 1: u64 msg_len, bytes        (simulation failed)
+//
+// TCP connections additionally start with a handshake so mismatched peers
+// are rejected cleanly instead of exchanging garbage frames:
+//
+//   hello     := 6-byte magic "EHDOEN", u32 protocol version,
+//                u64 fp_len, bytes (simulation fingerprint),
+//                u64 replicates                      (client -> server)
+//   welcome   := u64 status; status != 0: u64 msg_len, bytes
+//
+// Forked pipe workers skip the handshake — fork() guarantees both ends run
+// the same binary with the same closure. Closing the client side of any
+// transport is the shutdown signal; eval_worker_loop() _exits cleanly on
+// EOF.
+//
+// Determinism note: values travel as raw f64 bits, so a response is bitwise
+// identical no matter which process or host (same binary, same libm)
+// produced it.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/eval_backend.hpp"
+
+namespace ehdoe::net {
+
+using core::ResponseMap;
+using core::Simulation;
+using num::Vector;
+
+// ---------------------------------------------------------------------------
+// Protocol constants
+// ---------------------------------------------------------------------------
+
+inline constexpr std::uint32_t kProtocolVersion = 1;
+inline constexpr char kHandshakeMagic[6] = {'E', 'H', 'D', 'O', 'E', 'N'};
+
+inline constexpr std::uint64_t kStatusOk = 0;
+inline constexpr std::uint64_t kStatusError = 1;
+
+/// Upper bound on any length field read off a transport; larger values mean
+/// a corrupt or hostile peer and fail the frame before any allocation.
+inline constexpr std::uint64_t kSaneLimit = 1u << 24;
+
+// ---------------------------------------------------------------------------
+// Low-level I/O: loop until the full buffer moved; false on EOF/hard error.
+// recv/send with MSG_NOSIGNAL so a dead peer surfaces as an error, never as
+// SIGPIPE. Works on any SOCK_STREAM fd (socketpair and TCP alike).
+// ---------------------------------------------------------------------------
+
+bool read_exact(int fd, void* buf, std::size_t len);
+bool write_all(int fd, const void* buf, std::size_t len);
+bool read_u64(int fd, std::uint64_t& v);
+bool write_u64(int fd, std::uint64_t v);
+
+// ---------------------------------------------------------------------------
+// Evaluation frames
+// ---------------------------------------------------------------------------
+
+/// One decoded evaluator response: a result or a simulation error message.
+struct EvalResult {
+    bool ok = false;
+    ResponseMap responses;
+    std::string error;
+};
+
+bool write_request(int fd, const Vector& natural);
+/// False on EOF (clean shutdown) and on any broken frame.
+bool read_request(int fd, Vector& natural);
+
+bool write_result(int fd, const EvalResult& result);
+bool read_result(int fd, EvalResult& result);
+
+// ---------------------------------------------------------------------------
+// Handshake frames (TCP only)
+// ---------------------------------------------------------------------------
+
+struct Hello {
+    std::uint32_t version = kProtocolVersion;
+    std::string fingerprint;
+    std::uint64_t replicates = 1;
+};
+
+bool write_hello(int fd, const Hello& hello);
+bool read_hello(int fd, Hello& hello);
+
+/// status kStatusOk accepts; anything else carries a rejection message.
+bool write_welcome(int fd, std::uint64_t status, const std::string& message);
+bool read_welcome(int fd, std::uint64_t& status, std::string& message);
+
+// ---------------------------------------------------------------------------
+// The worker side of the protocol: serve request frames until EOF. Shared
+// by every forked pipe worker (SubprocessBackend and EvalServer). Never
+// returns; _exit(0) on clean shutdown, _exit(2) when the parent vanishes
+// mid-frame.
+// ---------------------------------------------------------------------------
+
+[[noreturn]] void eval_worker_loop(int fd, const Simulation& sim, std::size_t replicates);
+
+/// Fork one pipe worker running eval_worker_loop over a fresh socketpair.
+/// Returns the parent side (already registered with the fork-hygiene
+/// registry below); the child never returns. Throws on socketpair/fork
+/// failure. Fork early, before the embedding application spawns threads.
+/// The crash-respawn paths do fork from an already-threaded process; that
+/// is safe on glibc (malloc registers atfork handlers, and the child only
+/// closes fds and enters the worker loop) but relies on the Simulation
+/// closure not sharing locks with other threads — keep simulations pure,
+/// as the backend contract already demands.
+struct ForkedWorker {
+    pid_t pid = -1;
+    int fd = -1;  ///< parent side of the socketpair
+};
+ForkedWorker fork_eval_worker(const Simulation& sim, std::size_t replicates);
+
+// ---------------------------------------------------------------------------
+// Fork hygiene: parent-side fds (command sockets, TCP listeners, accepted
+// connections) that a freshly forked worker must close so unrelated
+// transports see EOF when their own parent end closes. Registered by every
+// component that owns such an fd; snapshot_parent_fds() is taken in the
+// parent immediately before fork() and closed in the child lock-free.
+// ---------------------------------------------------------------------------
+
+void register_parent_fd(int fd);
+void unregister_parent_fd(int fd);
+std::vector<int> snapshot_parent_fds();
+
+}  // namespace ehdoe::net

@@ -4,6 +4,8 @@
 // clean errors in design order).
 #include <gtest/gtest.h>
 
+#include <sys/stat.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -216,6 +218,65 @@ TEST(SubprocessBackend, WorkerCrashIsACleanError) {
     EXPECT_DOUBLE_EQ(ok.responses(0, 0), 5.0);
 }
 
+TEST(SubprocessBackend, CrashedWorkerRespawnsAtNextEvaluate) {
+    // A worker killed by a point is replaced at the start of the next
+    // evaluate() while the respawn budget lasts, so long runs keep their
+    // parallelism instead of decaying to serial.
+    const Simulation crashing = [](const Vector& nat) -> std::map<std::string, double> {
+        if (nat[0] > 9.0 && nat[1] > 4.9) ::_exit(3);
+        return {{"f", nat[0] + nat[1]}};
+    };
+    core::BackendOptions bo;
+    bo.threads = 2;
+    bo.worker_respawns = 2;
+    auto backend = std::make_shared<core::SubprocessBackend>(crashing, bo);
+    BatchRunner runner(backend);
+
+    EXPECT_THROW(runner.run_design(kSpace, full_factorial(2, 5)), std::runtime_error);
+    EXPECT_EQ(backend->live_workers(), 1u);  // the crash itself still costs the batch
+
+    num::Matrix safe(1, 2);  // coded (0,0) -> natural (5,0)
+    const RunResults ok = runner.run_points(kSpace, safe);
+    EXPECT_DOUBLE_EQ(ok.responses(0, 0), 5.0);
+    EXPECT_EQ(backend->live_workers(), 2u);  // pool is whole again
+    EXPECT_EQ(backend->respawns(), 1u);
+}
+
+TEST(SubprocessBackend, RespawnBudgetExhaustsToRetirement) {
+    const Simulation crashing = [](const Vector& nat) -> std::map<std::string, double> {
+        if (nat[0] > 9.0) ::_exit(3);
+        return {{"f", nat[0]}};
+    };
+    core::BackendOptions bo;
+    bo.threads = 1;
+    bo.worker_respawns = 1;
+    auto backend = std::make_shared<core::SubprocessBackend>(crashing, bo);
+    RunnerOptions ro;
+    ro.memoize = false;  // every call must reach the backend
+    BatchRunner runner(backend, ro);
+
+    num::Matrix lethal(1, 2);
+    lethal(0, 0) = 1.0;  // coded +1 -> natural x = 10
+    num::Matrix safe(1, 2);
+
+    EXPECT_THROW(runner.run_points(kSpace, lethal), std::runtime_error);
+    EXPECT_EQ(backend->live_workers(), 0u);
+
+    // One respawn left: the next evaluate restores the pool...
+    EXPECT_NO_THROW(runner.run_points(kSpace, safe));
+    EXPECT_EQ(backend->respawns(), 1u);
+
+    // ...but after the budget is spent, a second crash retires it for good.
+    EXPECT_THROW(runner.run_points(kSpace, lethal), std::runtime_error);
+    EXPECT_EQ(backend->live_workers(), 0u);
+    try {
+        runner.run_points(kSpace, safe);
+        FAIL() << "expected a no-live-workers error";
+    } catch (const std::runtime_error& e) {
+        EXPECT_NE(std::string(e.what()).find("no live workers"), std::string::npos) << e.what();
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Persistent cache
 // ---------------------------------------------------------------------------
@@ -330,6 +391,138 @@ TEST(PersistentCache, ThrowingInnerCommitsNothing) {
     auto* layer = dynamic_cast<const core::PersistentCache*>(&warm.backend());
     ASSERT_NE(layer, nullptr);
     EXPECT_EQ(layer->size(), 0u);
+}
+
+TEST(PersistentCache, SaveMergesEntriesAlreadyOnDisk) {
+    // Two runners sharing one snapshot file as their result store: the
+    // second save must fold in what the first wrote, not clobber it.
+    TempFile cache("ehdoe-merge");
+    RunnerOptions o;
+    o.cache_file = cache.path();
+    o.cache_fingerprint = "sim-A";
+
+    BatchRunner a(transcendental_sim(), o);  // both constructed cold:
+    BatchRunner b(transcendental_sim(), o);  // neither sees the other's work
+    num::Matrix pts_a(2, 2);  // coded (0,0), (1,0) -> natural (5,0), (10,0)
+    pts_a(1, 0) = 1.0;
+    num::Matrix pts_b(2, 2);  // coded (0,1), (0,-1) -> natural (5,5), (5,-5)
+    pts_b(0, 1) = 1.0;
+    pts_b(1, 1) = -1.0;
+    a.run_points(kSpace, pts_a);
+    b.run_points(kSpace, pts_b);
+    EXPECT_TRUE(a.save_cache());  // file = A's 2 entries
+    EXPECT_TRUE(b.save_cache());  // file = A ∪ B, not just B
+
+    BatchRunner warm(transcendental_sim(), o);
+    auto* layer = dynamic_cast<const core::PersistentCache*>(&warm.backend());
+    ASSERT_NE(layer, nullptr);
+    EXPECT_TRUE(layer->restored());
+    EXPECT_EQ(layer->size(), 4u);
+    warm.run_points(kSpace, pts_a);
+    warm.run_points(kSpace, pts_b);
+    EXPECT_EQ(warm.stats().simulations, 0u);
+}
+
+TEST(PersistentCache, TwoProcessesSharingOneSnapshotConverge) {
+    // A second *process* (a real fork, as in two CLI runs racing) saving to
+    // the same cache file: the snapshot ends up holding both processes'
+    // entries, and a third run simulates nothing.
+    TempFile cache("ehdoe-twoproc");
+    RunnerOptions o;
+    o.cache_file = cache.path();
+    o.cache_fingerprint = "sim-A";
+
+    {
+        BatchRunner parent_runner(transcendental_sim(), o);
+        parent_runner.run_design(kSpace, full_factorial(2, 2));  // the 4 corners
+        ASSERT_TRUE(parent_runner.save_cache());
+    }
+
+    const pid_t pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        // Child process: warm-load, add the 5 non-corner points of the 3^2
+        // grid, save. _exit so gtest state never doubles up.
+        BatchRunner child_runner(transcendental_sim(), o);
+        child_runner.run_design(kSpace, full_factorial(2, 3));
+        ::_exit(child_runner.save_cache() ? 0 : 1);
+    }
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status));
+    ASSERT_EQ(WEXITSTATUS(status), 0);
+
+    BatchRunner warm(transcendental_sim(), o);
+    auto* layer = dynamic_cast<const core::PersistentCache*>(&warm.backend());
+    ASSERT_NE(layer, nullptr);
+    EXPECT_TRUE(layer->restored());
+    EXPECT_EQ(layer->size(), 9u);
+    const RunResults r = warm.run_design(kSpace, full_factorial(2, 3));
+    EXPECT_EQ(r.simulations, 0u);
+}
+
+TEST(PersistentCache, ConcurrentSaversNeverCorruptTheSnapshot) {
+    // Two processes hammering save() on one path: the atomic per-process
+    // tmp+rename means every load observes a complete snapshot — a reader
+    // may see either writer's latest, never a torn file.
+    TempFile cache("ehdoe-racing");
+    const std::string fp = "sim-A";
+    const Simulation plain = [](const Vector& nat) -> std::map<std::string, double> {
+        return {{"f", nat[0] + nat[1]}};
+    };
+
+    constexpr int kChildren = 2;
+    constexpr int kSaves = 20;
+    std::vector<pid_t> children;
+    for (int c = 0; c < kChildren; ++c) {
+        const pid_t pid = fork();
+        ASSERT_GE(pid, 0);
+        if (pid == 0) {
+            core::BackendOptions bo;
+            auto inner = core::make_backend(plain, core::BackendKind::InProcess, bo);
+            core::PersistentCache mine(inner, cache.path(), fp, false);
+            std::vector<Vector> points;
+            for (int i = 0; i < 5; ++i) {
+                points.push_back(Vector{static_cast<double>(i), 100.0 * (c + 1)});
+            }
+            mine.evaluate(points);
+            bool ok = true;
+            for (int s = 0; s < kSaves; ++s) ok = mine.save() && ok;
+            ::_exit(ok ? 0 : 1);
+        }
+        children.push_back(pid);
+    }
+
+    // Probe while the children race: once the file exists it must always
+    // parse as a complete compatible snapshot.
+    core::BackendOptions bo;
+    std::size_t probes_restored = 0;
+    for (int probe = 0; probe < 200 && probes_restored < 25; ++probe) {
+        struct stat st {};
+        if (::stat(cache.path().c_str(), &st) != 0) {
+            ::usleep(1000);  // the children have not saved yet
+            continue;
+        }
+        core::PersistentCache reader(core::make_backend(plain, core::BackendKind::InProcess, bo),
+                                     cache.path(), fp, false);
+        EXPECT_TRUE(reader.restored()) << "probe " << probe << " saw a torn snapshot";
+        probes_restored += reader.restored() ? 1 : 0;
+    }
+
+    for (const pid_t pid : children) {
+        int status = 0;
+        ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+        ASSERT_TRUE(WIFEXITED(status));
+        ASSERT_EQ(WEXITSTATUS(status), 0);
+    }
+
+    // After the dust settles: a valid snapshot holding at least the last
+    // writer's 5 entries (merge-on-save usually yields all 10).
+    core::PersistentCache final_reader(
+        core::make_backend(plain, core::BackendKind::InProcess, bo), cache.path(), fp, false);
+    EXPECT_TRUE(final_reader.restored());
+    EXPECT_GE(final_reader.size(), 5u);
+    EXPECT_GT(probes_restored, 0u);  // the race was actually observed
 }
 
 // ---------------------------------------------------------------------------

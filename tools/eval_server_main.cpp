@@ -1,0 +1,152 @@
+// ehdoe-eval-server — one shard of the distributed evaluation service.
+//
+// Hosts a canonical scenario's node co-simulation behind the TCP wire
+// protocol (net/eval_server.hpp) so any number of net::RemoteBackend
+// clients can shard design evaluations across machines:
+//
+//   ehdoe-eval-server --scenario S1 --port 4217 --workers 4
+//   ehdoe-eval-server --scenario S2 --duration 600 --mode subprocess
+//
+// Flags:
+//   --scenario S1|S2|S3   canonical scenario to serve (default S1)
+//   --duration SECONDS    simulation horizon override (default: scenario's)
+//   --host ADDR           interface to bind (default 127.0.0.1)
+//   --port PORT           TCP port; 0 picks an ephemeral port (default 0)
+//   --workers N           evaluation workers; 0 = hardware threads (default 0)
+//   --mode inprocess|subprocess
+//                         worker pool kind (default inprocess; subprocess
+//                         isolates simulator crashes in forked processes)
+//   --replicates N        replicates averaged per point (default 1)
+//   --print-fingerprint   print the scenario fingerprint and exit
+//
+// On startup the daemon prints one "listening on HOST:PORT ..." line
+// (machine-readable; tests and scripts scrape the port), then serves until
+// SIGINT/SIGTERM.
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "core/scenario.hpp"
+#include "net/eval_server.hpp"
+
+using namespace ehdoe;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void handle_signal(int) { g_stop = 1; }
+
+int usage(const char* argv0) {
+    std::cerr << "usage: " << argv0
+              << " [--scenario S1|S2|S3] [--duration s] [--host addr] [--port p]\n"
+                 "       [--workers n] [--mode inprocess|subprocess] [--replicates n]\n"
+                 "       [--print-fingerprint]\n";
+    return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::string scenario_name = "S1";
+    double duration = -1.0;
+    bool print_fingerprint = false;
+    net::EvalServerOptions options;
+    options.workers = 0;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char* {
+            if (i + 1 >= argc) return nullptr;
+            return argv[++i];
+        };
+        if (arg == "--scenario") {
+            const char* v = next();
+            if (!v) return usage(argv[0]);
+            scenario_name = v;
+        } else if (arg == "--duration") {
+            const char* v = next();
+            if (!v) return usage(argv[0]);
+            duration = std::atof(v);
+        } else if (arg == "--host") {
+            const char* v = next();
+            if (!v) return usage(argv[0]);
+            options.host = v;
+        } else if (arg == "--port") {
+            const char* v = next();
+            if (!v) return usage(argv[0]);
+            options.port = static_cast<std::uint16_t>(std::atoi(v));
+        } else if (arg == "--workers") {
+            const char* v = next();
+            if (!v) return usage(argv[0]);
+            options.workers = static_cast<std::size_t>(std::atoi(v));
+        } else if (arg == "--replicates") {
+            const char* v = next();
+            if (!v) return usage(argv[0]);
+            options.replicates = static_cast<std::size_t>(std::atoi(v));
+        } else if (arg == "--mode") {
+            const char* v = next();
+            if (!v) return usage(argv[0]);
+            if (std::strcmp(v, "inprocess") == 0) {
+                options.worker_kind = core::BackendKind::InProcess;
+            } else if (std::strcmp(v, "subprocess") == 0) {
+                options.worker_kind = core::BackendKind::Subprocess;
+            } else {
+                return usage(argv[0]);
+            }
+        } else if (arg == "--print-fingerprint") {
+            print_fingerprint = true;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+
+    core::ScenarioId id;
+    if (scenario_name == "S1") {
+        id = core::ScenarioId::OfficeHvac;
+    } else if (scenario_name == "S2") {
+        id = core::ScenarioId::Industrial;
+    } else if (scenario_name == "S3") {
+        id = core::ScenarioId::Transport;
+    } else {
+        std::cerr << "unknown scenario '" << scenario_name << "' (expected S1, S2 or S3)\n";
+        return 2;
+    }
+
+    const core::Scenario scenario = core::Scenario::make(id, duration);
+    options.fingerprint = scenario.fingerprint();
+    if (print_fingerprint) {
+        std::cout << options.fingerprint << "\n";
+        return 0;
+    }
+
+    try {
+        net::EvalServer server(scenario.make_simulation(), options);
+        server.start();
+        std::cout << "listening on " << options.host << ":" << server.port() << " scenario="
+                  << scenario_name << " workers=" << server.options().workers << " mode="
+                  << (options.worker_kind == core::BackendKind::Subprocess ? "subprocess"
+                                                                           : "inprocess")
+                  << " replicates=" << options.replicates << " fingerprint="
+                  << options.fingerprint << std::endl;
+
+        std::signal(SIGINT, handle_signal);
+        std::signal(SIGTERM, handle_signal);
+        while (!g_stop) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        }
+        std::cout << "shutting down: served " << server.points_served() << " points ("
+                  << server.points_failed() << " failed) over " << server.connections_accepted()
+                  << " connections\n";
+        server.stop();
+    } catch (const std::exception& e) {
+        std::cerr << "ehdoe-eval-server: " << e.what() << "\n";
+        return 1;
+    }
+    return 0;
+}
