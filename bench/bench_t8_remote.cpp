@@ -6,16 +6,26 @@
 // every point evaluated exactly once (no lost or doubled work under
 // sharding).
 //
+// A heterogeneous-farm case follows the sweep: one deliberately slowed
+// shard (sleep-handicapped simulation, same fingerprint — the arithmetic
+// and therefore the bits are untouched) paired with a fast one, evaluated
+// under the legacy modulo assignment and under throughput-weighted
+// sharding with calibrated explicit weights. The weighted run must stop
+// idling the fast shard, and both must stay bitwise identical.
+//
 // On a multi-core host the wall time shrinks with the shard count; on a
 // single-CPU container the point of the run is the contract, not the
-// speedup. Appends the sweep as one JSONL line to the tracked
+// speedup (the hetero handicap is sleep-based, so its effect shows even
+// there). Appends the sweep as one JSONL line to the tracked
 // perf-trajectory ledger bench/history/t8_remote.jsonl (see
 // bench/history/README.md).
+#include <chrono>
 #include <ctime>
 #include <iostream>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/report.hpp"
@@ -24,6 +34,7 @@
 #include "doe/batch_runner.hpp"
 #include "doe/composite.hpp"
 #include "net/eval_server.hpp"
+#include "net/remote_backend.hpp"
 
 using namespace ehdoe;
 using namespace ehdoe::core;
@@ -113,6 +124,69 @@ int main() {
         contract_ok = contract_ok && p.identical;
         sweep.push_back(p);
     }
+    // ----------------------------------------------------------------------
+    // Heterogeneous farm: one shard handicapped by a 10 ms sleep per point
+    // (same arithmetic, same fingerprint, same bits — only slower). The
+    // modulo assignment splits the batch evenly and idles the fast shard;
+    // weighted sharding with calibrated explicit weights shifts work to it.
+    // ----------------------------------------------------------------------
+    const auto base_sim = sc.make_simulation();
+    net::EvalServerOptions slow_opts;
+    slow_opts.workers = 1;
+    slow_opts.fingerprint = fp;
+    net::EvalServer slow_server(
+        [base_sim](const num::Vector& nat) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(10));
+            return base_sim(nat);
+        },
+        slow_opts);
+    slow_server.start();
+    const std::vector<net::Endpoint> hetero_farm = {
+        net::parse_endpoint("127.0.0.1:" + std::to_string(slow_server.port())),
+        net::parse_endpoint("127.0.0.1:" + std::to_string(servers[0]->port())),
+    };
+
+    // Calibrate: a short probe per shard alone measures its real
+    // throughput; the measured points/second become the recorded weights
+    // of the weighted run (deterministic thereafter).
+    std::vector<double> measured_pps;
+    for (const net::Endpoint& e : hetero_farm) {
+        net::RemoteBackendOptions po;
+        po.endpoints = {e};
+        po.fingerprint = fp;
+        net::RemoteBackend probe(po);
+        const num::Vector centre = space.to_natural(num::Vector(space.dimension()));
+        std::vector<num::Vector> points(8, centre);
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            points[i][0] += static_cast<double>(i) * 1e-6;  // 8 distinct points
+        }
+        const auto p0 = std::chrono::steady_clock::now();
+        probe.evaluate(points);
+        const double wall =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - p0).count();
+        measured_pps.push_back(wall > 0.0 ? static_cast<double>(points.size()) / wall : 1.0);
+    }
+
+    auto run_hetero = [&](net::ShardingPolicy policy, const std::vector<double>& weights) {
+        net::RemoteBackendOptions ho;
+        ho.endpoints = hetero_farm;
+        ho.fingerprint = fp;
+        ho.sharding = policy;
+        ho.shard_weights = weights;
+        doe::BatchRunner runner(std::make_shared<net::RemoteBackend>(ho));
+        return runner.run_design(space, design);
+    };
+    const doe::RunResults hetero_modulo = run_hetero(net::ShardingPolicy::Modulo, {});
+    const doe::RunResults hetero_weighted =
+        run_hetero(net::ShardingPolicy::Weighted, measured_pps);
+    const bool hetero_identical =
+        num::approx_equal(hetero_modulo.responses, reference.responses, 0.0) &&
+        num::approx_equal(hetero_weighted.responses, reference.responses, 0.0);
+    const double hetero_speedup = hetero_weighted.wall_seconds > 0.0
+                                      ? hetero_modulo.wall_seconds / hetero_weighted.wall_seconds
+                                      : 0.0;
+    contract_ok = contract_ok && hetero_identical;
+    slow_server.stop();
     for (auto& s : servers) s->stop();
 
     Table t("T8: S1 CCD (48 points) across remote shard counts");
@@ -129,8 +203,28 @@ int main() {
     }
     t.print(std::cout);
 
-    std::cout << "\nService contract (bitwise-identical responses at every shard count;\n"
-                 "each unique point served exactly once): "
+    Table h("T8 hetero: 1 slow (+10 ms/point) + 1 fast shard, modulo vs weighted");
+    h.headers({"assignment", "wall", "speedup vs modulo", "bitwise identical"});
+    h.row()
+        .cell("modulo (even split)")
+        .cell(format_seconds(hetero_modulo.wall_seconds))
+        .cell(1.0, 2)
+        .cell(num::approx_equal(hetero_modulo.responses, reference.responses, 0.0) ? "yes"
+                                                                                   : "NO");
+    h.row()
+        .cell("weighted (calibrated)")
+        .cell(format_seconds(hetero_weighted.wall_seconds))
+        .cell(hetero_speedup, 2)
+        .cell(num::approx_equal(hetero_weighted.responses, reference.responses, 0.0) ? "yes"
+                                                                                     : "NO");
+    std::cout << "\n";
+    h.print(std::cout);
+    std::cout << "\ncalibrated shard throughput: slow " << format_double(measured_pps[0], 1)
+              << " pts/s, fast " << format_double(measured_pps[1], 1) << " pts/s\n";
+
+    std::cout << "\nService contract (bitwise-identical responses at every shard count,\n"
+                 "homogeneous and heterogeneous farms alike; each unique point served\n"
+                 "exactly once): "
               << (contract_ok ? "HOLDS" : "VIOLATED - BUG") << "\n";
 
     std::ostringstream json;
@@ -144,7 +238,12 @@ int main() {
              << ", \"simulations\": " << p.simulations << ", \"points_served\": "
              << p.points_served << "}";
     }
-    json << "]}";
+    json << "], \"hetero\": {\"slow_handicap_ms\": 10, \"calibrated_pps\": ["
+         << measured_pps[0] << ", " << measured_pps[1]
+         << "], \"modulo_wall_seconds\": " << hetero_modulo.wall_seconds
+         << ", \"weighted_wall_seconds\": " << hetero_weighted.wall_seconds
+         << ", \"weighted_speedup\": " << hetero_speedup
+         << ", \"identical\": " << (hetero_identical ? "true" : "false") << "}}";
     append_history_or_warn("t8_remote.jsonl", json.str(), std::cout);
 
     return contract_ok ? 0 : 1;

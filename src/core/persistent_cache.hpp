@@ -58,6 +58,9 @@ public:
     bool save() const;
     /// True when construction restored a compatible snapshot.
     bool restored() const { return restored_; }
+    /// The wrapped backend (e.g. for net::RemoteBackend shard inspection).
+    EvalBackend& inner() { return *inner_; }
+    const EvalBackend& inner() const { return *inner_; }
     /// Entries currently held.
     std::size_t size() const { return table_.size(); }
     const std::string& path() const { return path_; }

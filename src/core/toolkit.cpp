@@ -16,6 +16,7 @@ DesignFlow::DesignFlow(doe::DesignSpace space, doe::Simulation simulation, Optio
     doe::RunnerOptions ro;
     ro.backend = options_.backend;
     ro.endpoints = options_.endpoints;
+    ro.redial_seconds = options_.redial_seconds;
     ro.threads = options_.runner_threads;
     ro.batch_size = options_.runner_batch_size;
     ro.memoize = options_.memoize;

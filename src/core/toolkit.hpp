@@ -64,6 +64,10 @@ public:
         /// distributed evaluation service, src/net/). Pair with
         /// `cache_fingerprint` — it doubles as the handshake identity.
         std::vector<std::string> endpoints;
+        /// With `endpoints`: re-dial dead shards at most this often between
+        /// batches so a restarted eval-server rejoins the flow (0 = every
+        /// batch, negative = never).
+        double redial_seconds = 1.0;
         /// Workers (threads or processes) of the batch engine; 0 = all
         /// hardware.
         std::size_t runner_threads = 1;

@@ -45,6 +45,7 @@ BatchRunner::BatchRunner(Simulation sim, RunnerOptions options)
         }
         ro.fingerprint = options_.cache_fingerprint;
         ro.replicates = options_.replicates;
+        ro.redial_seconds = options_.redial_seconds;
         ro.on_batch = std::move(on_batch);
         backend_ = std::make_shared<net::RemoteBackend>(std::move(ro));
     } else {
@@ -78,6 +79,15 @@ BatchRunner::~BatchRunner() = default;
 std::size_t BatchRunner::threads() const { return backend_->concurrency(); }
 
 bool BatchRunner::save_cache() const { return persistent_ ? persistent_->save() : false; }
+
+std::vector<net::ShardReport> BatchRunner::shard_stats() const {
+    const core::EvalBackend* backend = backend_.get();
+    if (persistent_) backend = &persistent_->inner();
+    if (const auto* remote = dynamic_cast<const net::RemoteBackend*>(backend)) {
+        return remote->shard_stats();
+    }
+    return {};
+}
 
 std::vector<ResponseMap> BatchRunner::evaluate_rows(const std::vector<Vector>& rows) {
     const auto t0 = std::chrono::steady_clock::now();

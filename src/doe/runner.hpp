@@ -59,6 +59,10 @@ struct RunnerOptions {
     /// ignored locally, while `cache_fingerprint` doubles as the handshake
     /// identity the servers must match.
     std::vector<std::string> endpoints;
+    /// With `endpoints`: re-dial dead shards at most this often between
+    /// batches so a restarted eval-server rejoins a long run (0 = every
+    /// batch, negative = never).
+    double redial_seconds = 1.0;
     /// Number of workers (threads or processes); 1 = serial, 0 = all
     /// hardware threads. Simulations must be thread-safe pure functions of
     /// their input (all toolkit simulations are).

@@ -4,6 +4,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -99,6 +100,11 @@ struct EvalServer::PipeWorkerPool {
         return live_;
     }
 
+    std::size_t respawns() const {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return respawns_;
+    }
+
 private:
     static void retire(const Worker& w) {
         if (w.fd >= 0) {
@@ -176,8 +182,29 @@ void EvalServer::start() {
     }
 
     register_parent_fd(listen_fd_);
+    started_at_ = std::chrono::steady_clock::now();
     running_.store(true);
     accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+std::size_t EvalServer::worker_respawns() const {
+    return pipe_workers_ ? pipe_workers_->respawns() : 0;
+}
+
+ShardStats EvalServer::stats() const {
+    ShardStats s;
+    s.version = kProtocolVersion;
+    s.points_served = points_served();
+    s.points_failed = points_failed();
+    s.handshakes_rejected = handshakes_rejected();
+    s.worker_respawns = worker_respawns();
+    s.connections_accepted = connections_accepted();
+    s.uptime_seconds =
+        started_at_.time_since_epoch().count() == 0
+            ? 0.0
+            : std::chrono::duration<double>(std::chrono::steady_clock::now() - started_at_)
+                  .count();
+    return s;
 }
 
 void EvalServer::stop() {
@@ -282,13 +309,75 @@ EvalResult EvalServer::evaluate_one(const Vector& point) {
 void EvalServer::serve_connection(Connection& conn) {
     const int fd = conn.fd;
 
+    // Pre-handshake bound: a peer that connects and then stalls (a crashed
+    // monitor, a half-open connection after a partition) must not pin this
+    // thread and fd until stop(). The stats path keeps the bound for its
+    // whole (one-frame) life; an accepted eval connection lifts it, since
+    // between batches the reader legitimately idles on the socket.
+    timeval handshake_timeout{};
+    handshake_timeout.tv_sec = 10;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &handshake_timeout, sizeof handshake_timeout);
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &handshake_timeout, sizeof handshake_timeout);
+
+    // One connection is one kind for its whole life: the opening magic
+    // routes it to the eval pipeline or to the (FIFO-free) stats path.
+    ConnectionKind kind = ConnectionKind::Unknown;
+    if (read_connection_magic(fd, kind)) {
+        switch (kind) {
+            case ConnectionKind::Eval:
+                serve_eval_connection(fd);
+                break;
+            case ConnectionKind::Stats:
+                serve_stats_connection(fd);
+                break;
+            case ConnectionKind::Unknown:
+                rejected_.fetch_add(1);  // alien magic: close without a reply
+                break;
+        }
+    }
+    // A peer that vanishes before sending a full magic is NOT counted as a
+    // rejection: load-balancer/liveness TCP probes connect and close all
+    // day, and the rejects counter must keep meaning "a peer spoke and was
+    // refused" for farm monitoring to stay readable.
+
+    // Disown the fd under the lock *before* closing it: stop() must never
+    // see a still-registered fd that this thread has already closed (the
+    // number could have been recycled by an unrelated socket).
+    {
+        std::lock_guard<std::mutex> lock(connections_mutex_);
+        conn.fd = -1;
+    }
+    unregister_parent_fd(fd);
+    ::close(fd);
+    conn.done.store(true);
+}
+
+void EvalServer::serve_stats_connection(int fd) {
+    std::uint32_t version = 0;
+    if (!read_stats_request_body(fd, version)) {
+        rejected_.fetch_add(1);
+        return;
+    }
+    if (version != kProtocolVersion) {
+        rejected_.fetch_add(1);
+        write_stats_reply(fd, kStatusError, ShardStats{},
+                          "protocol version mismatch: server speaks " +
+                              std::to_string(kProtocolVersion) + ", client sent " +
+                              std::to_string(version));
+        return;
+    }
+    stats_served_.fetch_add(1);
+    write_stats_reply(fd, kStatusOk, stats(), "");
+}
+
+void EvalServer::serve_eval_connection(int fd) {
     // Handshake: reject mismatched peers with a message, then close. The
     // rejection is counted *before* the welcome frame goes out, so a
     // client that has observed the refusal also observes the counter.
     Hello hello;
     bool accepted = false;
     std::string refusal;
-    if (read_hello(fd, hello)) {
+    if (read_hello_body(fd, hello)) {
         if (hello.version != kProtocolVersion) {
             refusal = "protocol version mismatch: server speaks " +
                       std::to_string(kProtocolVersion) + ", client sent " +
@@ -303,6 +392,13 @@ void EvalServer::serve_connection(Connection& conn) {
         }
         if (refusal.empty()) {
             accepted = write_welcome(fd, kStatusOk, "");
+            if (accepted) {
+                // Lift the pre-handshake bound: eval connections persist
+                // across batches and idle between them by design.
+                timeval unbounded{};
+                ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &unbounded, sizeof unbounded);
+                ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &unbounded, sizeof unbounded);
+            }
         } else {
             rejected_.fetch_add(1);
             write_welcome(fd, kStatusError, refusal);
@@ -366,17 +462,6 @@ void EvalServer::serve_connection(Connection& conn) {
         }
         writer.join();
     }
-
-    // Disown the fd under the lock *before* closing it: stop() must never
-    // see a still-registered fd that this thread has already closed (the
-    // number could have been recycled by an unrelated socket).
-    {
-        std::lock_guard<std::mutex> lock(connections_mutex_);
-        conn.fd = -1;
-    }
-    unregister_parent_fd(fd);
-    ::close(fd);
-    conn.done.store(true);
 }
 
 }  // namespace ehdoe::net

@@ -24,9 +24,16 @@
 // is replaced while the bounded respawn budget lasts — one poisoned point
 // cannot take the shard down. The ehdoe-eval-server binary
 // (tools/eval_server_main.cpp) wraps this class behind CLI flags.
+//
+// A connection that opens with the stats magic instead of the eval
+// handshake is answered with one stats frame (per-server counters +
+// uptime) and closed — the monitoring path never enters the FIFO eval
+// pipeline, so a farm dashboard polling stats cannot delay evaluation
+// traffic (ehdoe-farm-stats, tools/farm_stats_main.cpp).
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -90,6 +97,14 @@ public:
     std::size_t points_served() const { return served_.load(); }
     /// Points answered with an error frame (sim threw or worker crashed).
     std::size_t points_failed() const { return failed_.load(); }
+    /// Crashed subprocess workers replaced so far (0 for in-process pools).
+    std::size_t worker_respawns() const;
+    /// Stats connections answered (monitoring traffic, not eval traffic).
+    std::size_t stats_served() const { return stats_served_.load(); }
+
+    /// Snapshot of the counters in stats-frame shape — the exact payload a
+    /// stats connection is answered with.
+    ShardStats stats() const;
 
 private:
     struct PipeWorkerPool;
@@ -101,6 +116,8 @@ private:
 
     void accept_loop();
     void serve_connection(Connection& conn);
+    void serve_eval_connection(int fd);
+    void serve_stats_connection(int fd);
     EvalResult evaluate_one(const Vector& point);
     void reap_finished_connections();
 
@@ -123,6 +140,8 @@ private:
     std::atomic<std::size_t> rejected_{0};
     std::atomic<std::size_t> served_{0};
     std::atomic<std::size_t> failed_{0};
+    std::atomic<std::size_t> stats_served_{0};
+    std::chrono::steady_clock::time_point started_at_{};
 };
 
 }  // namespace ehdoe::net

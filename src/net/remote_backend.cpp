@@ -4,6 +4,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <chrono>
@@ -39,33 +40,56 @@ std::string endpoint_label(const Endpoint& e) {
     return e.host + ":" + std::to_string(e.port);
 }
 
-/// Connect + handshake one endpoint; throws with the server's message on
-/// refusal, a transport diagnosis otherwise. Returns a connected fd.
-int connect_endpoint(const Endpoint& endpoint, const RemoteBackendOptions& options) {
+/// Resolve + connect one endpoint (no handshake — the stats path speaks a
+/// different opening frame). `timeout_seconds` > 0 bounds the connect and
+/// all subsequent I/O on the fd (SO_SNDTIMEO covers connect() on Linux), so
+/// a SYN-dropping host fails in seconds instead of the kernel's minutes.
+/// Throws with a transport diagnosis.
+int connect_tcp(const Endpoint& endpoint, int timeout_seconds = 0) {
     addrinfo hints{};
     hints.ai_family = AF_INET;
     hints.ai_socktype = SOCK_STREAM;
     addrinfo* found = nullptr;
     const std::string port = std::to_string(endpoint.port);
     if (::getaddrinfo(endpoint.host.c_str(), port.c_str(), &hints, &found) != 0 || !found)
-        throw std::runtime_error("RemoteBackend: cannot resolve endpoint " +
-                                 endpoint_label(endpoint));
+        throw std::runtime_error("cannot resolve endpoint " + endpoint_label(endpoint));
 
     int fd = -1;
     for (addrinfo* ai = found; ai; ai = ai->ai_next) {
         fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
         if (fd < 0) continue;
+        if (timeout_seconds > 0) {
+            timeval timeout{};
+            timeout.tv_sec = timeout_seconds;
+            ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof timeout);
+            ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof timeout);
+        }
         if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
         ::close(fd);
         fd = -1;
     }
     ::freeaddrinfo(found);
     if (fd < 0)
-        throw std::runtime_error("RemoteBackend: endpoint " + endpoint_label(endpoint) +
-                                 " is unreachable");
+        throw std::runtime_error("endpoint " + endpoint_label(endpoint) + " is unreachable");
 
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    return fd;
+}
+
+/// Bound applied to monitoring polls and between-batch re-dials: paths that
+/// must degrade in seconds, never hang a run or a dashboard for the
+/// kernel's TCP patience.
+constexpr int kSideChannelTimeoutSeconds = 5;
+
+/// Connect + handshake one endpoint; throws with the server's message on
+/// refusal, a transport diagnosis otherwise. Returns a connected fd. The
+/// connect and the handshake round-trip are time-bounded (a wedged server
+/// cannot stall construction or a re-dial); the bound is lifted before the
+/// fd is returned, because eval reads legitimately wait as long as a slow
+/// simulation takes.
+int connect_endpoint(const Endpoint& endpoint, const RemoteBackendOptions& options) {
+    const int fd = connect_tcp(endpoint, kSideChannelTimeoutSeconds);
 
     Hello hello;
     hello.version = kProtocolVersion;
@@ -83,19 +107,86 @@ int connect_endpoint(const Endpoint& endpoint, const RemoteBackendOptions& optio
         throw std::runtime_error("RemoteBackend: endpoint " + endpoint_label(endpoint) +
                                  " rejected the handshake: " + message);
     }
+    // Handshake done: lift the side-channel bound for the eval lifetime.
+    timeval unbounded{};
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &unbounded, sizeof unbounded);
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &unbounded, sizeof unbounded);
     return fd;
 }
 
 }  // namespace
 
+std::vector<std::size_t> weighted_assignment(std::size_t n, const std::vector<double>& weights) {
+    if (weights.empty())
+        throw std::invalid_argument("weighted_assignment: at least one shard required");
+    double total = 0.0;
+    for (const double w : weights) {
+        if (!(w > 0.0))
+            throw std::invalid_argument("weighted_assignment: weights must be positive");
+        total += w;
+    }
+    // Smooth weighted round-robin: every step each slot gains its weight,
+    // the largest accumulator wins the point and pays the total back. With
+    // uniform weights the winners cycle in slot order — exactly i mod n.
+    std::vector<std::size_t> out(n);
+    std::vector<double> current(weights.size(), 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        std::size_t best = 0;
+        for (std::size_t k = 0; k < weights.size(); ++k) {
+            current[k] += weights[k];
+            if (current[k] > current[best]) best = k;
+        }
+        current[best] -= total;
+        out[i] = best;
+    }
+    return out;
+}
+
+bool query_shard_stats(const Endpoint& endpoint, ShardStats& stats, std::string& error) {
+    stats = ShardStats{};
+    error.clear();
+    int fd = -1;
+    try {
+        // A monitoring poll must never hang on a wedged or SYN-dropping
+        // server: connect and both I/O directions are time-bounded.
+        fd = connect_tcp(endpoint, kSideChannelTimeoutSeconds);
+    } catch (const std::exception& e) {
+        error = e.what();
+        return false;
+    }
+    bool ok = false;
+    std::uint64_t status = kStatusError;
+    std::string message;
+    if (!write_stats_request(fd) || !read_stats_reply(fd, status, stats, message)) {
+        error = "stats query to " + endpoint_label(endpoint) +
+                " failed (connection dropped mid-frame)";
+    } else if (status != kStatusOk) {
+        error = "endpoint " + endpoint_label(endpoint) + " rejected the stats request: " +
+                message;
+    } else {
+        ok = true;
+    }
+    ::close(fd);
+    return ok;
+}
+
 /// One persistent shard connection plus its per-batch dispatch state.
 struct RemoteBackend::Conn {
     Endpoint endpoint;
+    std::size_t slot = 0;  ///< index into options().endpoints
     int fd = -1;
-    bool alive = false;       ///< backend-lifetime liveness (dead stays dead)
+    bool alive = false;       ///< liveness as of the last batch/re-dial
     bool dead_batch = false;  ///< died during the batch in flight
     std::deque<std::size_t> to_send;
     std::deque<std::size_t> in_flight;
+    /// Recorded serve ledger: points this shard delivered in *completed*
+    /// batches — the only input of the derived assignment weights.
+    std::uint64_t completed_points = 0;
+    /// Points delivered in the batch in flight (folds into the ledger only
+    /// when the batch completes).
+    std::size_t batch_completed = 0;
+    /// Last re-dial attempt (zero = never tried).
+    std::chrono::steady_clock::time_point last_redial{};
 };
 
 RemoteBackend::RemoteBackend(RemoteBackendOptions options) : options_(std::move(options)) {
@@ -104,12 +195,22 @@ RemoteBackend::RemoteBackend(RemoteBackendOptions options) : options_(std::move(
     if (options_.replicates == 0)
         throw std::invalid_argument("RemoteBackend: replicates >= 1");
     if (options_.pipeline == 0) options_.pipeline = 1;
+    if (!options_.shard_weights.empty()) {
+        if (options_.shard_weights.size() != options_.endpoints.size())
+            throw std::invalid_argument(
+                "RemoteBackend: shard_weights must match endpoints (or be empty)");
+        for (const double w : options_.shard_weights) {
+            if (!(w > 0.0))
+                throw std::invalid_argument("RemoteBackend: shard_weights must be positive");
+        }
+    }
 
     conns_.reserve(options_.endpoints.size());
     try {
         for (const Endpoint& e : options_.endpoints) {
             auto conn = std::make_unique<Conn>();
             conn->endpoint = e;
+            conn->slot = conns_.size();
             conn->fd = connect_endpoint(e, options_);
             register_parent_fd(conn->fd);
             conn->alive = true;
@@ -134,6 +235,7 @@ RemoteBackend::~RemoteBackend() {
 }
 
 std::size_t RemoteBackend::live_endpoints() const {
+    std::lock_guard<std::mutex> lock(state_mutex_);
     std::size_t n = 0;
     for (const auto& c : conns_) n += c->alive ? 1 : 0;
     return n;
@@ -143,14 +245,113 @@ std::string RemoteBackend::name() const {
     return "remote(" + std::to_string(conns_.size()) + " shards)";
 }
 
+void RemoteBackend::maybe_redial() {
+    if (options_.redial_seconds < 0.0) return;
+    const auto now = std::chrono::steady_clock::now();
+    for (auto& c : conns_) {
+        if (c->alive) continue;
+        if (c->last_redial.time_since_epoch().count() != 0 &&
+            std::chrono::duration<double>(now - c->last_redial).count() <
+                options_.redial_seconds)
+            continue;
+        c->last_redial = now;
+        ++redials_;
+        try {
+            // Full reconnect + re-handshake: a restarted server must prove
+            // it still speaks the same protocol/fingerprint/replicates
+            // before it gets work again.
+            const int fd = connect_endpoint(c->endpoint, options_);
+            if (c->fd >= 0) {
+                unregister_parent_fd(c->fd);
+                ::close(c->fd);
+            }
+            c->fd = fd;
+            register_parent_fd(fd);
+            {
+                std::lock_guard<std::mutex> lock(state_mutex_);
+                c->alive = true;
+            }
+            ++rejoins_;
+        } catch (const std::exception&) {
+            // Still down (or rejecting the handshake): stays dead until the
+            // next re-dial window. Construction-time strictness does not
+            // apply here — a long run absorbs a flapping shard.
+        }
+    }
+}
+
+std::vector<double> RemoteBackend::live_weights(const std::vector<Conn*>& live,
+                                                std::size_t batch_points) const {
+    std::vector<double> weights;
+    weights.reserve(live.size());
+    if (!options_.shard_weights.empty()) {
+        for (const Conn* c : live) weights.push_back(options_.shard_weights[c->slot]);
+        return weights;
+    }
+    // Catch-up weighting from the recorded serve ledger. Weighting by the
+    // counts themselves would freeze the shares (proportional assignment
+    // grows every count by the same factor — a rejoined shard would never
+    // recover its share); weighting by each shard's *deficit* against the
+    // balanced post-batch share instead makes a shard that recorded fewer
+    // serves (it was dead, it joined late) take proportionally more of
+    // this batch until the ledger levels out. The deficit is scaled by
+    // n_live so every weight is an exact small integer in a double:
+    // balanced ledgers then give bit-equal weights and the round-robin
+    // degenerates to exactly i mod n (a fractional fair share would leak
+    // rounding noise into the tie-breaks).
+    std::uint64_t total = batch_points;
+    for (const Conn* c : live) total += c->completed_points;
+    for (const Conn* c : live) {
+        const std::uint64_t scaled = c->completed_points * live.size();
+        const std::uint64_t deficit = total > scaled ? total - scaled : 0;
+        weights.push_back(1.0 + static_cast<double>(deficit));
+    }
+    return weights;
+}
+
+std::vector<ShardReport> RemoteBackend::shard_stats() const {
+    std::vector<ShardReport> reports(conns_.size());
+    {
+        // Snapshot the client-side view under the state lock, so a
+        // monitoring thread can poll while a batch is in flight.
+        std::lock_guard<std::mutex> lock(state_mutex_);
+        std::vector<Conn*> live;
+        for (const auto& c : conns_) {
+            if (c->alive) live.push_back(c.get());
+        }
+        const std::vector<double> weights =
+            live.empty() ? std::vector<double>{} : live_weights(live, 0);
+        for (std::size_t i = 0; i < conns_.size(); ++i) {
+            const Conn& c = *conns_[i];
+            reports[i].endpoint = c.endpoint;
+            reports[i].alive = c.alive;
+            reports[i].completed_points = c.completed_points;
+            for (std::size_t k = 0; k < live.size(); ++k) {
+                if (live[k] == &c) reports[i].weight = weights[k];
+            }
+        }
+    }
+    // Poll concurrently: down shards each cost the side-channel timeout,
+    // and on a partly-dead farm those bounds must overlap, not stack.
+    std::vector<std::thread> pollers;
+    pollers.reserve(reports.size());
+    for (ShardReport& r : reports) {
+        pollers.emplace_back([&r] { r.reachable = query_shard_stats(r.endpoint, r.stats, r.error); });
+    }
+    for (std::thread& t : pollers) t.join();
+    return reports;
+}
+
 std::vector<core::ResponseMap> RemoteBackend::evaluate(const std::vector<Vector>& points) {
     const auto t0 = std::chrono::steady_clock::now();
     const std::size_t n = points.size();
     std::vector<core::ResponseMap> out(n);
     if (n == 0) return out;
 
-    // The live set at batch start defines the deterministic assignment:
-    // point i goes to live shard (i mod n_live), in configured order.
+    // Liveness only changes here, between batches: dead endpoints get a
+    // (throttled) re-dial + re-handshake, and the resulting live set at
+    // batch start defines the deterministic assignment.
+    maybe_redial();
     std::vector<Conn*> live;
     for (auto& c : conns_) {
         if (c->alive) live.push_back(c.get());
@@ -160,8 +361,25 @@ std::vector<core::ResponseMap> RemoteBackend::evaluate(const std::vector<Vector>
         c->dead_batch = false;
         c->to_send.clear();
         c->in_flight.clear();
+        c->batch_completed = 0;
     }
-    for (std::size_t i = 0; i < n; ++i) live[i % live.size()]->to_send.push_back(i);
+
+    // Assignment: a pure function of (batch size, recorded serve ledger /
+    // explicit weights, live set in configured order) — identical runs
+    // shard identically, which is what keeps re-runs reproducible.
+    std::vector<std::size_t> assignment;
+    if (options_.sharding == ShardingPolicy::Modulo) {
+        assignment.resize(n);
+        for (std::size_t i = 0; i < n; ++i) assignment[i] = i % live.size();
+    } else {
+        assignment = weighted_assignment(n, live_weights(live, n));
+    }
+    last_assignment_.assign(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+        Conn* c = live[assignment[i]];
+        c->to_send.push_back(i);
+        last_assignment_[i] = c->slot;
+    }
 
     // Shared batch state. `unresolved` counts points without a recorded
     // outcome; after an abort (simulation error or total endpoint loss) the
@@ -218,7 +436,11 @@ std::vector<core::ResponseMap> RemoteBackend::evaluate(const std::vector<Vector>
         std::lock_guard<std::mutex> lock(mu);
         if (c.dead_batch) return;
         c.dead_batch = true;
-        c.alive = false;
+        {
+            // state_mutex_ is a leaf lock under `mu` (see header).
+            std::lock_guard<std::mutex> state_lock(state_mutex_);
+            c.alive = false;
+        }
         ::shutdown(c.fd, SHUT_RDWR);  // wake the peer thread blocked on I/O
 
         inflight_total -= c.in_flight.size();
@@ -305,6 +527,7 @@ std::vector<core::ResponseMap> RemoteBackend::evaluate(const std::vector<Vector>
                     out[idx] = std::move(result.responses);
                     ++completed;
                     --unresolved;
+                    ++c.batch_completed;
                     recorded_ok = true;
                     recorded_idx = idx;
                 } else {
@@ -331,6 +554,21 @@ std::vector<core::ResponseMap> RemoteBackend::evaluate(const std::vector<Vector>
 
     simulations_ += completed * options_.replicates;
     batches_ += dispatched;
+
+    // Fold this batch's serve counts into the weighted-sharding ledger only
+    // when every point resolved with a result — the weights must derive
+    // from *completed* batches alone. Catch-up weighting then steers later
+    // batches toward whoever the ledger says is behind: a shard that was
+    // dead (or joined late) ramps back up, a survivor that covered extra
+    // points eases off until the ledger levels out.
+    bool batch_completed_ok = unresolved == 0;
+    for (std::size_t i = 0; batch_completed_ok && i < n; ++i) {
+        if (has_error[i] || callback_errors[i]) batch_completed_ok = false;
+    }
+    if (batch_completed_ok) {
+        std::lock_guard<std::mutex> lock(state_mutex_);
+        for (Conn* c : live) c->completed_points += c->batch_completed;
+    }
 
     for (std::size_t i = 0; i < n; ++i) {
         if (callback_errors[i]) std::rethrow_exception(callback_errors[i]);

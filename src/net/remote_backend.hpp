@@ -4,12 +4,20 @@
 // that shards every batch across N eval-server endpoints (net/eval_server.hpp)
 // over persistent TCP connections speaking the versioned wire protocol.
 //
-//  * Deterministic sharding — point i of a batch goes to live endpoint
-//    (i mod n_live), in configured endpoint order. The assignment is a pure
-//    function of the batch and the live set, so repeated runs shard
+//  * Deterministic weighted sharding — the points of a batch are assigned
+//    to the live endpoints by a smooth weighted round-robin whose weights
+//    derive only from the recorded per-shard serve counts of *completed*
+//    batches: each live shard is weighted by its ledger *deficit* against
+//    the balanced share, so a shard that recorded fewer serves (it was
+//    dead, it joined late) catches up, and a balanced ledger degenerates
+//    to the classic i mod n_live in configured endpoint order. The
+//    assignment is a pure function of the batch size, the recorded serve
+//    ledger and the live set at batch start, so repeated runs shard
 //    identically; and because every shard runs the same binary arithmetic
 //    on the raw f64 bits, responses are bitwise identical to
-//    InProcessBackend no matter how many shards serve them.
+//    InProcessBackend no matter how many shards serve them. Heterogeneous
+//    farms can pin explicit per-endpoint weights (operator-measured
+//    throughput) instead of the recorded ledger.
 //
 //  * Pipelined connections — each endpoint keeps up to `pipeline` requests
 //    in flight (responses return in FIFO order), hiding the network
@@ -20,13 +28,24 @@
 //    surviving shards; simulations are pure functions, so a re-executed
 //    point yields the same bits. The batch completes with identical results
 //    as long as one shard survives; when none do, every stranded point
-//    fails with a clear error thrown in input (= design) order. A dead
-//    endpoint stays dead for the backend's lifetime.
+//    fails with a clear error thrown in input (= design) order.
+//
+//  * Re-dial — a dead endpoint is re-dialed (and re-handshaked) between
+//    batches, throttled by `redial_seconds`, so a restarted eval-server
+//    rejoins a long optimization run instead of staying dead for the
+//    backend's lifetime. Liveness only changes between batches, so the
+//    assignment stays a pure function of recorded state at batch start and
+//    rejoin points stay bitwise identical to InProcessBackend.
 //
 //  * Handshake — construction connects and handshakes every endpoint
 //    (protocol version, simulation fingerprint, replicate count); any
 //    mismatch throws with the server's rejection message instead of
 //    exchanging garbage frames.
+//
+//  * Observability — shard_stats() polls every configured endpoint with
+//    the stats frame (a fresh connection outside the eval path) and merges
+//    the server counters with the client-side view: liveness, recorded
+//    serve counts and current assignment weights.
 //
 // Failure contract (shared with every backend): a simulation that fails
 // remotely surfaces as a std::runtime_error thrown in input order after
@@ -35,6 +54,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -51,6 +71,44 @@ struct Endpoint {
 /// Parse "host:port" (host defaults to 127.0.0.1 for ":port").
 Endpoint parse_endpoint(const std::string& spec);
 
+/// How batch points map onto live shards.
+enum class ShardingPolicy {
+    /// Smooth weighted round-robin over per-shard weights: explicit
+    /// `shard_weights`, else catch-up weights derived from each shard's
+    /// recorded-serve-ledger deficit against the balanced share (a shard
+    /// that recorded fewer serves takes more until the ledger levels
+    /// out). With uniform weights this IS i mod n.
+    Weighted,
+    /// The legacy raw i mod n_live assignment (weights ignored); kept for
+    /// A/B benchmarking on heterogeneous farms.
+    Modulo,
+};
+
+/// The deterministic smooth weighted round-robin: the shard slot (index
+/// into `weights`) each of `n` points is assigned to. Pure function — ties
+/// break toward the lower slot, uniform weights yield i mod weights.size().
+/// Exposed for tests and for reasoning about re-run reproducibility.
+std::vector<std::size_t> weighted_assignment(std::size_t n, const std::vector<double>& weights);
+
+/// One stats-frame round-trip against an endpoint (fresh connection,
+/// outside any eval path). False with a diagnosis in `error` when the
+/// endpoint is unreachable, rejects the request or answers garbage.
+bool query_shard_stats(const Endpoint& endpoint, ShardStats& stats, std::string& error);
+
+/// shard_stats(): one configured endpoint's merged client + server view.
+struct ShardReport {
+    Endpoint endpoint;
+    bool alive = false;      ///< client-side connection liveness right now
+    bool reachable = false;  ///< the stats query below succeeded
+    /// Points this backend recorded the shard serving in completed batches
+    /// (the weighted-sharding ledger).
+    std::uint64_t completed_points = 0;
+    /// Effective weight the next batch's assignment would use.
+    double weight = 0.0;
+    ShardStats stats;   ///< server-reported counters (valid when reachable)
+    std::string error;  ///< diagnosis when not reachable
+};
+
 struct RemoteBackendOptions {
     /// Shards, in the order that defines the deterministic assignment.
     std::vector<Endpoint> endpoints;
@@ -61,6 +119,17 @@ struct RemoteBackendOptions {
     std::size_t replicates = 1;
     /// Max requests in flight per connection.
     std::size_t pipeline = 4;
+    /// Assignment policy; Weighted unless benchmarking against Modulo.
+    ShardingPolicy sharding = ShardingPolicy::Weighted;
+    /// Explicit per-endpoint weights (parallel to `endpoints`), e.g.
+    /// operator-measured points/second of a heterogeneous farm. Empty:
+    /// weights derive from the recorded serve ledger. Must be positive and
+    /// match endpoints.size() when non-empty.
+    std::vector<double> shard_weights;
+    /// Re-dial dead endpoints at most this often, checked between batches
+    /// (0 = every batch, negative = never — a dead shard then stays dead
+    /// for the backend's lifetime, the pre-elastic behaviour).
+    double redial_seconds = 1.0;
     /// Invoked per completed point (serialized), like the other backends.
     std::function<void(const core::BatchProgress&)> on_batch;
 };
@@ -89,13 +158,47 @@ public:
     std::size_t live_endpoints() const;
     const RemoteBackendOptions& options() const { return options_; }
 
+    /// Re-dial attempts made (between batches) against dead endpoints.
+    std::size_t redials_attempted() const { return redials_; }
+    /// Dead endpoints that successfully reconnected and re-handshaked.
+    std::size_t rejoins() const { return rejoins_; }
+
+    /// The initial shard assignment of the last evaluate() call: element i
+    /// is the index into options().endpoints that point i was dispatched
+    /// to first (failover re-dispatch is not reflected). Determinism
+    /// contract: identical runs produce identical vectors.
+    const std::vector<std::size_t>& last_assignment() const { return last_assignment_; }
+
+    /// Poll every configured endpoint with the stats frame and merge the
+    /// answers with the client-side liveness/ledger/weight view. Safe to
+    /// call from any thread at any time — a monitoring thread may poll
+    /// while evaluate() runs (liveness/ledger reads are synchronized; the
+    /// snapshot is simply as of the poll instant).
+    std::vector<ShardReport> shard_stats() const;
+
 private:
     struct Conn;
 
+    void maybe_redial();
+    /// Effective assignment weights of the current live set, in live
+    /// order: explicit shard_weights, or catch-up weights derived from
+    /// each shard's serve-ledger deficit against the balanced share of
+    /// (ledger + batch_points).
+    std::vector<double> live_weights(const std::vector<Conn*>& live,
+                                     std::size_t batch_points) const;
+
     RemoteBackendOptions options_;
     std::vector<std::unique_ptr<Conn>> conns_;
+    /// Guards Conn::alive and Conn::completed_points against concurrent
+    /// readers (shard_stats()/live_endpoints() from a monitoring thread)
+    /// while evaluate() mutates them. Leaf lock: may be taken under the
+    /// per-batch mutex, never the other way around.
+    mutable std::mutex state_mutex_;
     std::size_t simulations_ = 0;
     std::size_t batches_ = 0;
+    std::size_t redials_ = 0;
+    std::size_t rejoins_ = 0;
+    std::vector<std::size_t> last_assignment_;
 };
 
 }  // namespace ehdoe::net

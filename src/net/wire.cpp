@@ -122,11 +122,12 @@ bool write_hello(int fd, const Hello& hello) {
 }
 
 bool read_hello(int fd, Hello& hello) {
-    char magic[sizeof kHandshakeMagic];
-    if (!read_exact(fd, magic, sizeof magic)) return false;
-    for (std::size_t i = 0; i < sizeof magic; ++i) {
-        if (magic[i] != kHandshakeMagic[i]) return false;
-    }
+    ConnectionKind kind = ConnectionKind::Unknown;
+    if (!read_connection_magic(fd, kind) || kind != ConnectionKind::Eval) return false;
+    return read_hello_body(fd, hello);
+}
+
+bool read_hello_body(int fd, Hello& hello) {
     if (!read_exact(fd, &hello.version, sizeof hello.version)) return false;
     std::uint64_t fp_len = 0;
     if (!read_u64(fd, fp_len) || fp_len > kSaneLimit) return false;
@@ -149,6 +150,69 @@ bool read_welcome(int fd, std::uint64_t& status, std::string& message) {
     if (!read_u64(fd, len) || len > kSaneLimit) return false;
     message.assign(static_cast<std::size_t>(len), '\0');
     return read_exact(fd, message.data(), message.size());
+}
+
+// ---------------------------------------------------------------------------
+// Connection-kind dispatch and the stats frame
+// ---------------------------------------------------------------------------
+
+bool read_connection_magic(int fd, ConnectionKind& kind) {
+    char magic[sizeof kHandshakeMagic];
+    if (!read_exact(fd, magic, sizeof magic)) return false;
+    const auto matches = [&](const char (&expected)[6]) {
+        for (std::size_t i = 0; i < sizeof magic; ++i) {
+            if (magic[i] != expected[i]) return false;
+        }
+        return true;
+    };
+    if (matches(kHandshakeMagic)) {
+        kind = ConnectionKind::Eval;
+    } else if (matches(kStatsMagic)) {
+        kind = ConnectionKind::Stats;
+    } else {
+        kind = ConnectionKind::Unknown;
+    }
+    return true;
+}
+
+bool write_stats_request(int fd, std::uint32_t version) {
+    return write_all(fd, kStatsMagic, sizeof kStatsMagic) &&
+           write_all(fd, &version, sizeof version);
+}
+
+bool read_stats_request_body(int fd, std::uint32_t& version) {
+    return read_exact(fd, &version, sizeof version);
+}
+
+bool write_stats_reply(int fd, std::uint64_t status, const ShardStats& stats,
+                       const std::string& message) {
+    if (!write_u64(fd, status)) return false;
+    if (status != kStatusOk) {
+        return write_u64(fd, message.size()) &&
+               write_all(fd, message.data(), message.size());
+    }
+    return write_all(fd, &stats.version, sizeof stats.version) &&
+           write_u64(fd, stats.points_served) && write_u64(fd, stats.points_failed) &&
+           write_u64(fd, stats.handshakes_rejected) && write_u64(fd, stats.worker_respawns) &&
+           write_u64(fd, stats.connections_accepted) &&
+           write_all(fd, &stats.uptime_seconds, sizeof stats.uptime_seconds);
+}
+
+bool read_stats_reply(int fd, std::uint64_t& status, ShardStats& stats, std::string& message) {
+    message.clear();
+    stats = ShardStats{};
+    if (!read_u64(fd, status)) return false;
+    if (status != kStatusOk) {
+        std::uint64_t len = 0;
+        if (!read_u64(fd, len) || len > kSaneLimit) return false;
+        message.assign(static_cast<std::size_t>(len), '\0');
+        return read_exact(fd, message.data(), message.size());
+    }
+    return read_exact(fd, &stats.version, sizeof stats.version) &&
+           read_u64(fd, stats.points_served) && read_u64(fd, stats.points_failed) &&
+           read_u64(fd, stats.handshakes_rejected) && read_u64(fd, stats.worker_respawns) &&
+           read_u64(fd, stats.connections_accepted) &&
+           read_exact(fd, &stats.uptime_seconds, sizeof stats.uptime_seconds);
 }
 
 // ---------------------------------------------------------------------------

@@ -22,6 +22,18 @@
 //                u64 replicates                      (client -> server)
 //   welcome   := u64 status; status != 0: u64 msg_len, bytes
 //
+// A second connection kind serves farm monitoring *outside* the FIFO eval
+// path: a peer that opens with the stats magic gets one stats reply and the
+// connection closes — no handshake, no eval frames, no interleaving with
+// pipelined evaluation connections:
+//
+//   stats req := 6-byte magic "EHDOES", u32 protocol version
+//   stats rep := u64 status
+//                status 0: u32 version, u64 points_served, u64 points_failed,
+//                          u64 handshakes_rejected, u64 worker_respawns,
+//                          u64 connections_accepted, f64 uptime_seconds
+//                status != 0: u64 msg_len, bytes     (e.g. version mismatch)
+//
 // Forked pipe workers skip the handshake — fork() guarantees both ends run
 // the same binary with the same closure. Closing the client side of any
 // transport is the shutdown signal; eval_worker_loop() _exits cleanly on
@@ -50,8 +62,10 @@ using num::Vector;
 // Protocol constants
 // ---------------------------------------------------------------------------
 
-inline constexpr std::uint32_t kProtocolVersion = 1;
+/// v2: the stats connection kind ("EHDOES") joined the protocol.
+inline constexpr std::uint32_t kProtocolVersion = 2;
 inline constexpr char kHandshakeMagic[6] = {'E', 'H', 'D', 'O', 'E', 'N'};
+inline constexpr char kStatsMagic[6] = {'E', 'H', 'D', 'O', 'E', 'S'};
 
 inline constexpr std::uint64_t kStatusOk = 0;
 inline constexpr std::uint64_t kStatusError = 1;
@@ -105,6 +119,41 @@ bool read_hello(int fd, Hello& hello);
 /// status kStatusOk accepts; anything else carries a rejection message.
 bool write_welcome(int fd, std::uint64_t status, const std::string& message);
 bool read_welcome(int fd, std::uint64_t& status, std::string& message);
+
+// ---------------------------------------------------------------------------
+// Connection-kind dispatch and the stats frame (TCP only). A server reads
+// the 6-byte opening magic once and branches: eval connections continue with
+// the hello body, stats connections with the stats-request body. Anything
+// else is a broken or alien peer.
+// ---------------------------------------------------------------------------
+
+enum class ConnectionKind { Eval, Stats, Unknown };
+
+/// Consume the 6-byte opening magic and classify the connection. False when
+/// the peer vanished before sending a full magic.
+bool read_connection_magic(int fd, ConnectionKind& kind);
+/// The hello fields after the magic (read_hello = magic + body).
+bool read_hello_body(int fd, Hello& hello);
+
+/// One shard's monitoring counters as carried by the stats reply.
+struct ShardStats {
+    std::uint32_t version = kProtocolVersion;  ///< server's protocol version
+    std::uint64_t points_served = 0;           ///< result frames answered
+    std::uint64_t points_failed = 0;           ///< error frames answered
+    std::uint64_t handshakes_rejected = 0;
+    std::uint64_t worker_respawns = 0;  ///< crashed subprocess workers replaced
+    std::uint64_t connections_accepted = 0;
+    double uptime_seconds = 0.0;  ///< since the server start()ed
+};
+
+bool write_stats_request(int fd, std::uint32_t version = kProtocolVersion);
+/// The version field after the magic.
+bool read_stats_request_body(int fd, std::uint32_t& version);
+
+/// status kStatusOk carries `stats`; anything else carries a message.
+bool write_stats_reply(int fd, std::uint64_t status, const ShardStats& stats,
+                       const std::string& message);
+bool read_stats_reply(int fd, std::uint64_t& status, ShardStats& stats, std::string& message);
 
 // ---------------------------------------------------------------------------
 // The worker side of the protocol: serve request frames until EOF. Shared

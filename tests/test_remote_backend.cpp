@@ -31,9 +31,11 @@
 #include "net/eval_server.hpp"
 #include "net/remote_backend.hpp"
 #include "net/wire.hpp"
+#include "net_test_utils.hpp"
 
 using namespace ehdoe;
 using namespace ehdoe::doe;
+using namespace ehdoe::net_test;
 using ehdoe::num::Vector;
 
 namespace {
@@ -62,46 +64,6 @@ Simulation slow_sim() {
         return transcendental(nat);
     };
 }
-
-std::unique_ptr<net::EvalServer> start_server(Simulation sim, const std::string& fingerprint,
-                                              std::size_t workers = 2,
-                                              std::size_t replicates = 1) {
-    net::EvalServerOptions o;
-    o.workers = workers;
-    o.replicates = replicates;
-    o.fingerprint = fingerprint;
-    auto server = std::make_unique<net::EvalServer>(std::move(sim), o);
-    server->start();
-    return server;
-}
-
-std::string endpoint_of(const net::EvalServer& server) {
-    return "127.0.0.1:" + std::to_string(server.port());
-}
-
-RunnerOptions remote_options(const std::vector<std::string>& endpoints,
-                             const std::string& fingerprint) {
-    RunnerOptions o;
-    o.endpoints = endpoints;
-    o.cache_fingerprint = fingerprint;
-    return o;
-}
-
-/// A scratch file path that dies with the test.
-class TempFile {
-public:
-    explicit TempFile(const std::string& stem) {
-        path_ = (std::filesystem::temp_directory_path() /
-                 (stem + "-" + std::to_string(::getpid()) + ".ehcache"))
-                    .string();
-        std::remove(path_.c_str());
-    }
-    ~TempFile() { std::remove(path_.c_str()); }
-    const std::string& path() const { return path_; }
-
-private:
-    std::string path_;
-};
 
 }  // namespace
 
@@ -173,8 +135,9 @@ TEST(RemoteBackend, ShardDeathMidBatchStillCompletesIdentically) {
     killer.join();
 
     EXPECT_TRUE(num::approx_equal(r.responses, base.responses, 0.0));
-    EXPECT_EQ(backend->live_endpoints(), 1u);  // the dead shard stays dead
-    EXPECT_EQ(r.simulations, 81u);             // every point resolved exactly once
+    // The dead shard stays dead: its server is gone, so re-dials keep failing.
+    EXPECT_EQ(backend->live_endpoints(), 1u);
+    EXPECT_EQ(r.simulations, 81u);  // every point resolved exactly once
 
     // The surviving shard keeps serving subsequent batches alone.
     num::Matrix one(1, 2);

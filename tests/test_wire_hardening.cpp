@@ -1,0 +1,276 @@
+// Malformed-frame hardening: a peer sending an oversized length prefix or a
+// frame truncated mid-payload must fail its connection cleanly — no
+// allocation blow-up, no hang, no collateral damage to other connections.
+// Covers both directions of read_exact/frame decode: hostile client against
+// EvalServer, and hostile (fake) server against RemoteBackend.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "doe/batch_runner.hpp"
+#include "doe/factorial.hpp"
+#include "net/eval_server.hpp"
+#include "net/remote_backend.hpp"
+#include "net/wire.hpp"
+#include "net_test_utils.hpp"
+
+using namespace ehdoe;
+using namespace ehdoe::doe;
+using namespace ehdoe::net_test;
+using ehdoe::num::Vector;
+
+namespace {
+
+const DesignSpace kSpace({{"x", 0.0, 10.0, false}, {"y", -5.0, 5.0, false}});
+
+Simulation identity_sim() {
+    return [](const Vector& nat) -> std::map<std::string, double> {
+        return {{"f", nat[0]}};
+    };
+}
+
+/// True when the peer closed: recv() returns 0 (EOF) or a hard error, and
+/// never blocks forever (the fd has a receive timeout armed).
+bool peer_closed(int fd) {
+    timeval tv{};
+    tv.tv_sec = 5;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    char byte = 0;
+    return ::recv(fd, &byte, 1, 0) <= 0;
+}
+
+/// A fake eval-server speaking just enough protocol to hand the client one
+/// poisoned response. Accepts one connection, answers the handshake, reads
+/// one request, writes `poison` raw bytes, then closes.
+class PoisonServer {
+public:
+    explicit PoisonServer(std::vector<unsigned char> poison) : poison_(std::move(poison)) {
+        listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+        EXPECT_GE(listen_fd_, 0);
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        EXPECT_EQ(::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr),
+                  0);
+        EXPECT_EQ(::listen(listen_fd_, 4), 0);
+        sockaddr_in bound{};
+        socklen_t len = sizeof bound;
+        ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+        port_ = ntohs(bound.sin_port);
+        thread_ = std::thread([this] { serve(); });
+    }
+
+    ~PoisonServer() {
+        ::shutdown(listen_fd_, SHUT_RDWR);
+        if (thread_.joinable()) thread_.join();
+        ::close(listen_fd_);
+    }
+
+    std::uint16_t port() const { return port_; }
+
+private:
+    void serve() {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) return;
+        net::Hello hello;
+        if (net::read_hello(fd, hello) && net::write_welcome(fd, net::kStatusOk, "")) {
+            Vector request;
+            if (net::read_request(fd, request)) {
+                net::write_all(fd, poison_.data(), poison_.size());
+            }
+        }
+        ::close(fd);
+    }
+
+    std::vector<unsigned char> poison_;
+    int listen_fd_ = -1;
+    std::uint16_t port_ = 0;
+    std::thread thread_;
+};
+
+/// Little-endian-of-host u64 appended raw (the wire is host-endian).
+void push_u64(std::vector<unsigned char>& bytes, std::uint64_t v) {
+    const auto* p = reinterpret_cast<const unsigned char*>(&v);
+    bytes.insert(bytes.end(), p, p + sizeof v);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// EvalServer side.
+// ---------------------------------------------------------------------------
+TEST(WireHardening, ServerDropsOversizedRequestDimensionWithoutAllocating) {
+    auto server = start_server(identity_sim(), "sim-id");
+
+    const int fd = raw_connect(server->port());
+    net::Hello hello;
+    hello.fingerprint = "sim-id";
+    ASSERT_TRUE(net::write_hello(fd, hello));
+    std::uint64_t status = net::kStatusError;
+    std::string message;
+    ASSERT_TRUE(net::read_welcome(fd, status, message));
+    ASSERT_EQ(status, net::kStatusOk);
+
+    // A request claiming 2^60 coordinates: the sane-limit check must fail
+    // the connection before any allocation is attempted.
+    ASSERT_TRUE(net::write_u64(fd, std::uint64_t{1} << 60));
+    EXPECT_TRUE(peer_closed(fd));
+    ::close(fd);
+
+    // The server survives and keeps serving honest clients.
+    BatchRunner runner(identity_sim(), remote_options({endpoint_of(*server)}, "sim-id"));
+    EXPECT_EQ(runner.run_design(kSpace, doe::full_factorial(2, 2)).simulations, 4u);
+    EXPECT_EQ(server->points_served(), 4u);
+}
+
+TEST(WireHardening, ServerDropsRequestTruncatedMidFrame) {
+    auto server = start_server(identity_sim(), "sim-id");
+
+    const int fd = raw_connect(server->port());
+    net::Hello hello;
+    hello.fingerprint = "sim-id";
+    ASSERT_TRUE(net::write_hello(fd, hello));
+    std::uint64_t status = net::kStatusError;
+    std::string message;
+    ASSERT_TRUE(net::read_welcome(fd, status, message));
+    ASSERT_EQ(status, net::kStatusOk);
+
+    // Claim two coordinates, deliver one, vanish.
+    ASSERT_TRUE(net::write_u64(fd, 2));
+    const double half = 1.0;
+    ASSERT_TRUE(net::write_all(fd, &half, sizeof half));
+    ::shutdown(fd, SHUT_WR);
+    EXPECT_TRUE(peer_closed(fd));
+    ::close(fd);
+
+    EXPECT_EQ(server->points_served(), 0u);  // the torso never reached a worker
+    EXPECT_TRUE(server->running());
+}
+
+TEST(WireHardening, ServerRejectsOversizedHelloFingerprintLength) {
+    auto server = start_server(identity_sim(), "sim-id");
+
+    const int fd = raw_connect(server->port());
+    // Hand-rolled hello with a fingerprint length beyond any sane frame.
+    std::vector<unsigned char> bytes(net::kHandshakeMagic,
+                                     net::kHandshakeMagic + sizeof net::kHandshakeMagic);
+    const std::uint32_t version = net::kProtocolVersion;
+    const auto* vp = reinterpret_cast<const unsigned char*>(&version);
+    bytes.insert(bytes.end(), vp, vp + sizeof version);
+    push_u64(bytes, std::uint64_t{1} << 58);
+    ASSERT_TRUE(net::write_all(fd, bytes.data(), bytes.size()));
+    EXPECT_TRUE(peer_closed(fd));
+    ::close(fd);
+
+    EXPECT_GE(server->handshakes_rejected(), 1u);
+    EXPECT_TRUE(server->running());
+}
+
+// ---------------------------------------------------------------------------
+// RemoteBackend side.
+// ---------------------------------------------------------------------------
+namespace {
+
+/// Drive one 3-point batch into a PoisonServer and expect the poisoned
+/// connection to surface as a clean dead-endpoint error (all shards dead →
+/// stranded points error in design order), never a hang or a bad_alloc.
+void expect_clean_death(std::vector<unsigned char> poison) {
+    PoisonServer server(std::move(poison));
+    net::RemoteBackendOptions ro;
+    ro.endpoints = {net::parse_endpoint("127.0.0.1:" + std::to_string(server.port()))};
+    ro.fingerprint = "";
+    ro.redial_seconds = -1.0;
+    net::RemoteBackend backend(ro);
+
+    std::vector<Vector> points(3, Vector(2));
+    try {
+        backend.evaluate(points);
+        FAIL() << "expected the poisoned endpoint to fail the batch";
+    } catch (const std::runtime_error& e) {
+        EXPECT_NE(std::string(e.what()).find("no live endpoints remain"), std::string::npos)
+            << e.what();
+    }
+    EXPECT_EQ(backend.live_endpoints(), 0u);
+}
+
+}  // namespace
+
+TEST(WireHardening, ClientDropsResultWithOversizedResponseCount) {
+    std::vector<unsigned char> poison;
+    push_u64(poison, net::kStatusOk);
+    push_u64(poison, std::uint64_t{1} << 59);  // "this many named responses"
+    expect_clean_death(std::move(poison));
+}
+
+TEST(WireHardening, ClientDropsResultWithOversizedNameLength) {
+    std::vector<unsigned char> poison;
+    push_u64(poison, net::kStatusOk);
+    push_u64(poison, 1);                       // one response...
+    push_u64(poison, std::uint64_t{1} << 59);  // ...whose name "fills" memory
+    expect_clean_death(std::move(poison));
+}
+
+TEST(WireHardening, ClientDropsResultTruncatedMidFrame) {
+    std::vector<unsigned char> poison;
+    push_u64(poison, net::kStatusOk);
+    push_u64(poison, 1);
+    push_u64(poison, 3);
+    poison.push_back('a');  // name cut short; the server closes after this
+    expect_clean_death(std::move(poison));
+}
+
+TEST(WireHardening, ClientDropsResultWithUnknownStatus) {
+    std::vector<unsigned char> poison;
+    push_u64(poison, 42);  // neither ok nor error
+    expect_clean_death(std::move(poison));
+}
+
+TEST(WireHardening, StatsQueryFailsCleanlyOnOversizedRejectionMessage) {
+    // A fake "server" that answers the stats request with an error frame
+    // whose message length is absurd: query_shard_stats must return false,
+    // not allocate or hang.
+    const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(listen_fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    ASSERT_EQ(::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr), 0);
+    ASSERT_EQ(::listen(listen_fd, 4), 0);
+    sockaddr_in bound{};
+    socklen_t len = sizeof bound;
+    ::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&bound), &len);
+    const std::uint16_t port = ntohs(bound.sin_port);
+
+    std::thread fake([&] {
+        const int fd = ::accept(listen_fd, nullptr, nullptr);
+        if (fd < 0) return;
+        net::ConnectionKind kind;
+        std::uint32_t version = 0;
+        if (net::read_connection_magic(fd, kind) &&
+            net::read_stats_request_body(fd, version)) {
+            std::vector<unsigned char> poison;
+            push_u64(poison, net::kStatusError);
+            push_u64(poison, std::uint64_t{1} << 59);
+            net::write_all(fd, poison.data(), poison.size());
+        }
+        ::close(fd);
+    });
+
+    net::ShardStats stats;
+    std::string error;
+    EXPECT_FALSE(net::query_shard_stats(
+        net::parse_endpoint("127.0.0.1:" + std::to_string(port)), stats, error));
+    EXPECT_FALSE(error.empty());
+    fake.join();
+    ::close(listen_fd);
+}
