@@ -36,6 +36,13 @@ std::shared_ptr<const harvester::VibrationSource> make_vibration(ScenarioId id,
 
 }  // namespace
 
+ScenarioId scenario_from_name(const std::string& name) {
+    if (name == "S1") return ScenarioId::OfficeHvac;
+    if (name == "S2") return ScenarioId::Industrial;
+    if (name == "S3") return ScenarioId::Transport;
+    throw std::invalid_argument("unknown scenario '" + name + "' (expected S1, S2 or S3)");
+}
+
 Scenario Scenario::make(ScenarioId id, double duration) {
     Scenario s;
     s.id_ = id;

@@ -45,6 +45,11 @@ inline constexpr const char* kRespTuning = "E_tune";        // J
 
 enum class ScenarioId { OfficeHvac, Industrial, Transport };
 
+/// Map a CLI-style scenario name ("S1"/"S2"/"S3") to its id; throws
+/// std::invalid_argument naming the expected values otherwise. Shared by
+/// every tool that takes --scenario-like input.
+ScenarioId scenario_from_name(const std::string& name);
+
 class Scenario {
 public:
     /// Build a canonical scenario. `duration` overrides the default horizon

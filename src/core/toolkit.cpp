@@ -12,9 +12,13 @@ DesignFlow::DesignFlow(doe::DesignSpace space, doe::Simulation simulation)
 
 DesignFlow::DesignFlow(doe::DesignSpace space, doe::Simulation simulation, Options options)
     : space_(std::move(space)), options_(std::move(options)) {
-    if (!simulation) throw std::invalid_argument("DesignFlow: simulation required");
+    // Remote and exec flows need no local simulation closure — the shards
+    // or the recipe's external simulator own the model.
+    if (!simulation && options_.endpoints.empty() && options_.recipe_file.empty())
+        throw std::invalid_argument("DesignFlow: simulation required");
     doe::RunnerOptions ro;
     ro.backend = options_.backend;
+    ro.recipe_file = options_.recipe_file;
     ro.endpoints = options_.endpoints;
     ro.redial_seconds = options_.redial_seconds;
     ro.threads = options_.runner_threads;

@@ -57,8 +57,14 @@ public:
         rsm::ModelOrder order = rsm::ModelOrder::Quadratic;
         /// Evaluation backend of the batch engine: in-process thread pool
         /// (default) or a pool of forked worker processes. Ignored when
-        /// `endpoints` is non-empty.
+        /// `endpoints` or `recipe_file` is non-empty.
         core::BackendKind backend = core::BackendKind::InProcess;
+        /// External-simulator recipe file (exec/sim_recipe.hpp); non-empty
+        /// drives every simulation batch of the flow through co-simulator
+        /// processes launched per point (exec::ExecBackend) — the
+        /// DesignFlow simulation argument may then be null. The recipe's
+        /// content hash folds into the persistent-cache identity.
+        std::string recipe_file;
         /// Remote eval-server endpoints ("host:port"); non-empty shards
         /// every simulation batch of the flow across these servers (the
         /// distributed evaluation service, src/net/). Pair with

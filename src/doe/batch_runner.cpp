@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "core/persistent_cache.hpp"
+#include "exec/exec_backend.hpp"
 #include "net/remote_backend.hpp"
 
 namespace ehdoe::doe {
@@ -21,7 +22,11 @@ std::vector<double> cache_key(const Vector& natural) {
 
 BatchRunner::BatchRunner(Simulation sim, RunnerOptions options)
     : options_(std::move(options)) {
-    if (!sim) throw std::invalid_argument("BatchRunner: simulation required");
+    // Remote and exec stacks own the simulation themselves (the servers /
+    // the recipe's command); only local in-process/subprocess execution
+    // needs the closure.
+    if (!sim && options_.endpoints.empty() && options_.recipe_file.empty())
+        throw std::invalid_argument("BatchRunner: simulation required");
     if (options_.replicates == 0) throw std::invalid_argument("BatchRunner: replicates >= 1");
 
     // Fold the orchestrator's memo hits of the call in flight into the
@@ -34,6 +39,10 @@ BatchRunner::BatchRunner(Simulation sim, RunnerOptions options)
             options_.on_batch(q);
         };
     }
+    // The recipe content hash joins the cache identity: responses cached
+    // (or remotely served) under one recipe revision must never silently
+    // satisfy another.
+    std::string recipe_tag;
     if (!options_.endpoints.empty()) {
         // Remote sharded execution: the servers own the simulation; the
         // handshake identity is the same fingerprint the persistent cache
@@ -48,6 +57,16 @@ BatchRunner::BatchRunner(Simulation sim, RunnerOptions options)
         ro.redial_seconds = options_.redial_seconds;
         ro.on_batch = std::move(on_batch);
         backend_ = std::make_shared<net::RemoteBackend>(std::move(ro));
+    } else if (!options_.recipe_file.empty()) {
+        // Exec execution: the recipe owns the simulation (an external
+        // co-simulator process per point).
+        exec::SimRecipe recipe = exec::SimRecipe::parse_file(options_.recipe_file);
+        recipe_tag = "/recipe=" + recipe.fingerprint();
+        core::BackendOptions bo;
+        bo.threads = options_.threads;
+        bo.replicates = options_.replicates;
+        bo.on_batch = std::move(on_batch);
+        backend_ = std::make_shared<exec::ExecBackend>(std::move(recipe), std::move(bo));
     } else {
         core::BackendOptions bo;
         bo.threads = options_.threads;
@@ -57,12 +76,14 @@ BatchRunner::BatchRunner(Simulation sim, RunnerOptions options)
         backend_ = core::make_backend(std::move(sim), options_.backend, bo);
     }
     if (!options_.cache_file.empty()) {
-        // The replicate count is part of the cache identity: entries hold
-        // replicate-averaged responses, which a run with a different count
-        // must never silently reuse.
+        // The replicate count (and the recipe revision, for exec stacks)
+        // is part of the cache identity: entries hold replicate-averaged
+        // responses, which a run with a different count — or a different
+        // simulator — must never silently reuse.
         auto cached = std::make_shared<core::PersistentCache>(
             std::move(backend_), options_.cache_file,
-            options_.cache_fingerprint + "/replicates=" + std::to_string(options_.replicates));
+            options_.cache_fingerprint + recipe_tag +
+                "/replicates=" + std::to_string(options_.replicates));
         persistent_ = cached.get();
         backend_ = std::move(cached);
     }

@@ -50,8 +50,18 @@ struct RunResults {
 struct RunnerOptions {
     /// Execution strategy: in-process thread pool (default) or a pool of
     /// forked worker processes (the stepping stone to external HDL
-    /// co-simulations). Ignored when `endpoints` is non-empty.
+    /// co-simulations). Ignored when `endpoints` or `recipe_file` is
+    /// non-empty.
     core::BackendKind backend = core::BackendKind::InProcess;
+    /// External-simulator recipe file (exec/sim_recipe.hpp); non-empty
+    /// routes evaluation through an exec::ExecBackend that launches one
+    /// co-simulator process per point (x replicates) instead of calling
+    /// the Simulation — which may then be null. `threads` bounds
+    /// concurrent simulator processes; the recipe's content hash folds
+    /// into the persistent-cache identity, so cached responses never
+    /// cross recipe revisions. Ignored when `endpoints` is non-empty (the
+    /// remote servers own their own recipes).
+    std::string recipe_file;
     /// Remote eval-server endpoints ("host:port"). Non-empty routes
     /// evaluation through a net::RemoteBackend that shards each batch
     /// across these servers (see net/remote_backend.hpp) instead of a

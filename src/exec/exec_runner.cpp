@@ -1,0 +1,417 @@
+#include "exec/exec_runner.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "net/wire.hpp"
+
+namespace ehdoe::exec {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Process-wide counter so two runners in one process never share a root.
+std::atomic<std::size_t> g_runner_seq{0};
+
+std::vector<std::string> split_lines(const std::string& text) {
+    std::vector<std::string> lines;
+    std::string::size_type pos = 0;
+    while (pos <= text.size()) {
+        const auto nl = text.find('\n', pos);
+        if (nl == std::string::npos) {
+            if (pos < text.size()) lines.push_back(text.substr(pos));
+            break;
+        }
+        lines.push_back(text.substr(pos, nl - pos));
+        pos = nl + 1;
+    }
+    return lines;
+}
+
+std::string read_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+/// The last ~400 bytes of a capture file, for error messages.
+std::string tail_of(const std::string& path) {
+    std::string text = read_file(path);
+    while (!text.empty() && (text.back() == '\n' || text.back() == '\r')) text.pop_back();
+    constexpr std::size_t kTail = 400;
+    if (text.size() > kTail) text = "..." + text.substr(text.size() - kTail);
+    return text;
+}
+
+bool write_file(const std::string& path, const std::string& body) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << body;
+    out.flush();
+    return static_cast<bool>(out);
+}
+
+}  // namespace
+
+ExecRunner::ExecRunner(SimRecipe recipe, std::size_t replicates)
+    : recipe_(std::move(recipe)), replicates_(replicates) {
+    if (replicates_ == 0) throw std::invalid_argument("ExecRunner: replicates >= 1");
+    if (recipe_.command.empty()) throw std::invalid_argument("ExecRunner: recipe has no command");
+    if (recipe_.extractors.empty())
+        throw std::invalid_argument("ExecRunner: recipe has no extractors");
+    compiled_.reserve(recipe_.extractors.size());
+    for (const Extractor& ex : recipe_.extractors) {
+        compiled_.emplace_back();
+        if (ex.kind == Extractor::Kind::Regex) {
+            try {
+                compiled_.back() = std::regex(ex.pattern, std::regex::ECMAScript);
+            } catch (const std::regex_error& e) {
+                throw std::invalid_argument("ExecRunner: bad regex for '" + ex.response +
+                                            "': " + e.what());
+            }
+        }
+    }
+    if (recipe_.scratch_dir.empty()) {
+        scratch_root_ = (fs::temp_directory_path() /
+                         ("ehdoe-exec-" + std::to_string(::getpid()) + "-" +
+                          std::to_string(g_runner_seq.fetch_add(1))))
+                            .string();
+    } else {
+        scratch_root_ = recipe_.scratch_dir;
+    }
+    std::error_code ec;
+    fs::create_directories(scratch_root_, ec);
+    if (ec)
+        throw std::runtime_error("ExecRunner: cannot create scratch root '" + scratch_root_ +
+                                 "': " + ec.message());
+}
+
+ExecRunner::~ExecRunner() {
+    // Per-point dirs are removed as their points resolve; here only an
+    // *empty* root is removed (never recursively — a user-supplied
+    // scratch-dir may hold unrelated files, and keep-artifacts runs keep
+    // their dirs by design).
+    std::error_code ec;
+    fs::remove(scratch_root_, ec);
+}
+
+ExecOutcome ExecRunner::run_point(const Vector& natural, std::size_t index) {
+    ExecOutcome outcome;
+    core::ResponseMap acc;
+    try {
+        for (std::size_t rep = 0; rep < replicates_; ++rep) {
+            core::ResponseMap one;
+            for (std::size_t attempt = 0;; ++attempt) {
+                const std::string workdir =
+                    (fs::path(scratch_root_) /
+                     ("p" + std::to_string(index) + "-" + std::to_string(seq_.fetch_add(1))))
+                        .string();
+                std::error_code ec;
+                fs::create_directories(workdir, ec);
+                if (ec) {
+                    outcome.error = "ExecRunner: cannot create scratch dir '" + workdir +
+                                    "': " + ec.message();
+                    return outcome;
+                }
+                auto cleanup = [&] {
+                    if (recipe_.keep_artifacts) return;
+                    std::error_code rmec;
+                    fs::remove_all(workdir, rmec);
+                };
+                LaunchResult run;
+                try {
+                    run = launch_once(natural, index, workdir);
+                } catch (...) {
+                    // Render-time recipe bugs (bad placeholder) must not
+                    // leak the scratch dir they were about to use.
+                    cleanup();
+                    throw;
+                }
+
+                if (!run.launched) {
+                    outcome.error = "ExecRunner: " + run.diagnosis;
+                    cleanup();
+                    return outcome;
+                }
+                if (run.timed_out) {
+                    timeouts_.fetch_add(1);
+                    outcome.timed_out = true;
+                    outcome.error = "ExecRunner: simulator timed out after " +
+                                    std::to_string(recipe_.timeout_seconds) +
+                                    " s at point " + std::to_string(index) +
+                                    " (process group killed)";
+                    cleanup();
+                    return outcome;
+                }
+                if (run.signaled || run.exit_code != 0) {
+                    const std::string stderr_tail = tail_of(workdir + "/stderr.txt");
+                    if (attempt < recipe_.retries) {
+                        relaunches_.fetch_add(1);
+                        cleanup();
+                        continue;  // bounded retry on a crashed/failed launch
+                    }
+                    outcome.error =
+                        "ExecRunner: simulator " +
+                        (run.signaled ? "killed by signal " + std::to_string(run.signal)
+                                      : "exited with status " + std::to_string(run.exit_code)) +
+                        " at point " + std::to_string(index) + " after " +
+                        std::to_string(attempt + 1) + " launch(es)" +
+                        (stderr_tail.empty() ? "" : ": " + stderr_tail);
+                    cleanup();
+                    return outcome;
+                }
+                std::string parse_error;
+                if (!parse_output(workdir, one, parse_error)) {
+                    outcome.error = parse_error;
+                    cleanup();
+                    return outcome;
+                }
+                cleanup();
+                break;  // this replicate succeeded
+            }
+            // The exact replicate arithmetic of core::simulate_replicated.
+            for (const auto& [k, v] : one) acc[k] += v;
+        }
+    } catch (const std::exception& e) {
+        // Template/recipe errors surface per point so the backend's
+        // design-order contract owns them like any other failure.
+        outcome.error = std::string("ExecRunner: ") + e.what();
+        return outcome;
+    }
+    for (auto& [k, v] : acc) v /= static_cast<double>(replicates_);
+    outcome.ok = true;
+    outcome.responses = std::move(acc);
+    return outcome;
+}
+
+ExecRunner::LaunchResult ExecRunner::launch_once(const Vector& natural, std::size_t index,
+                                                 const std::string& workdir) {
+    LaunchResult run;
+    const std::string deck_path = (fs::path(workdir) / recipe_.deck_file).string();
+
+    // Render the deck/stdin body and the command with this launch's
+    // substitutions. Rendering throws on recipe bugs (unknown placeholder);
+    // run_point converts that into a per-point error.
+    std::string body;
+    for (const std::string& line : recipe_.deck_lines) {
+        body += render_template(line, natural, index, workdir, deck_path);
+        body += '\n';
+    }
+    const std::string command =
+        render_template(recipe_.command, natural, index, workdir, deck_path);
+    const std::vector<std::string> argv_strings = split_tokens(command);
+    if (argv_strings.empty()) {
+        run.diagnosis = "rendered command is empty: '" + recipe_.command + "'";
+        return run;
+    }
+
+    std::string stdin_path = "/dev/null";
+    if (recipe_.input == InputMode::Deck) {
+        if (!write_file(deck_path, body)) {
+            run.diagnosis = "cannot write deck '" + deck_path + "'";
+            return run;
+        }
+    } else {
+        stdin_path = (fs::path(workdir) / "stdin.txt").string();
+        if (!write_file(stdin_path, body)) {
+            run.diagnosis = "cannot write stdin body '" + stdin_path + "'";
+            return run;
+        }
+    }
+
+    // Open the child's fds in the parent so failures are reported cleanly.
+    // O_CLOEXEC: concurrent launches from sibling threads fork while these
+    // are open, and a sibling's simulator must not inherit them past its
+    // execvp (dup2 below clears the flag on the child's own std fds).
+    const int in_fd = ::open(stdin_path.c_str(), O_RDONLY | O_CLOEXEC);
+    const int out_fd = ::open((fs::path(workdir) / "stdout.txt").c_str(),
+                              O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    const int err_fd = ::open((fs::path(workdir) / "stderr.txt").c_str(),
+                              O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (in_fd < 0 || out_fd < 0 || err_fd < 0) {
+        if (in_fd >= 0) ::close(in_fd);
+        if (out_fd >= 0) ::close(out_fd);
+        if (err_fd >= 0) ::close(err_fd);
+        run.diagnosis = "cannot open launch fds in '" + workdir + "'";
+        return run;
+    }
+
+    std::vector<char*> argv;
+    argv.reserve(argv_strings.size() + 1);
+    for (const std::string& a : argv_strings) argv.push_back(const_cast<char*>(a.c_str()));
+    argv.push_back(nullptr);
+
+    // Snapshot the process's parent-side transport fds (TCP listeners,
+    // worker pipes) before forking: a long-lived simulator must not hold
+    // an inherited listener open past its owner's death.
+    const std::vector<int> parent_fds = net::snapshot_parent_fds();
+
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        ::close(in_fd);
+        ::close(out_fd);
+        ::close(err_fd);
+        run.diagnosis = std::string("fork failed: ") + std::strerror(errno);
+        return run;
+    }
+    if (pid == 0) {
+        // Child: own process group (the timeout kill targets the group, so
+        // a simulator's own children die with it), wired fds, exec.
+        ::setpgid(0, 0);
+        // The simulator runs *in* its scratch dir: relative output paths
+        // (a simulator's own dump files) land there, not in the farm's CWD.
+        if (::chdir(workdir.c_str()) != 0) ::_exit(125);
+        for (const int fd : parent_fds) ::close(fd);
+        ::dup2(in_fd, STDIN_FILENO);
+        ::dup2(out_fd, STDOUT_FILENO);
+        ::dup2(err_fd, STDERR_FILENO);
+        ::close(in_fd);
+        ::close(out_fd);
+        ::close(err_fd);
+        ::execvp(argv[0], argv.data());
+        // exec failed: say why on the (captured) stderr and die.
+        const int code = errno == ENOENT ? 127 : 126;
+        ::dprintf(STDERR_FILENO, "ExecRunner: cannot exec '%s': %s\n", argv[0],
+                  std::strerror(errno));
+        ::_exit(code);
+    }
+
+    // Parent. Mirror the child's setpgid so a timeout kill cannot race the
+    // child between fork and its own setpgid (one of the two calls wins;
+    // EACCES after the exec is expected and harmless).
+    ::setpgid(pid, pid);
+    ::close(in_fd);
+    ::close(out_fd);
+    ::close(err_fd);
+    launches_.fetch_add(1);
+
+    int status = 0;
+    bool reaped = false;
+    if (recipe_.timeout_seconds <= 0.0) {
+        for (;;) {
+            const pid_t r = ::waitpid(pid, &status, 0);
+            if (r == pid) {
+                reaped = true;
+                break;
+            }
+            if (r < 0 && errno == EINTR) continue;
+            break;
+        }
+    } else {
+        const auto deadline = std::chrono::steady_clock::now() +
+                              std::chrono::duration<double>(recipe_.timeout_seconds);
+        for (;;) {
+            const pid_t r = ::waitpid(pid, &status, WNOHANG);
+            if (r == pid) {
+                reaped = true;
+                break;
+            }
+            if (r < 0 && errno != EINTR) break;
+            if (std::chrono::steady_clock::now() >= deadline) {
+                if (::kill(-pid, SIGKILL) != 0) ::kill(pid, SIGKILL);
+                while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+                }
+                run.launched = true;
+                run.timed_out = true;
+                return run;
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+    }
+    if (!reaped) {
+        // E.g. ECHILD under a SIGCHLD-ignoring embedder auto-reaping our
+        // children: the exit status is unknowable, and claiming exit 0
+        // here would turn a crashed simulator into a "success" with a
+        // half-written capture file. Fail the launch machinery instead.
+        run.diagnosis = std::string("waitpid failed: ") + std::strerror(errno) +
+                        " (is SIGCHLD set to SIG_IGN in the embedding process?)";
+        return run;
+    }
+
+    run.launched = true;
+    if (WIFEXITED(status)) {
+        run.exit_code = WEXITSTATUS(status);
+    } else if (WIFSIGNALED(status)) {
+        run.signaled = true;
+        run.signal = WTERMSIG(status);
+    } else {
+        run.signaled = true;  // stopped/continued cannot happen without traces
+    }
+    return run;
+}
+
+bool ExecRunner::parse_output(const std::string& workdir, core::ResponseMap& out,
+                              std::string& error) const {
+    const std::string source =
+        recipe_.output == OutputMode::File
+            ? (fs::path(workdir) / recipe_.output_file).string()
+            : (fs::path(workdir) / "stdout.txt").string();
+    std::error_code ec;
+    if (recipe_.output == OutputMode::File && !fs::exists(source, ec)) {
+        error = "ExecRunner: simulator produced no output file '" + recipe_.output_file + "'";
+        return false;
+    }
+    const std::string text = read_file(source);
+    const std::vector<std::string> lines = split_lines(text);
+
+    out.clear();
+    for (std::size_t e = 0; e < recipe_.extractors.size(); ++e) {
+        const Extractor& ex = recipe_.extractors[e];
+        std::string raw;
+        bool found = false;
+        if (ex.kind == Extractor::Kind::Regex) {
+            std::smatch m;
+            for (const std::string& line : lines) {
+                if (std::regex_search(line, m, compiled_[e]) && m.size() > 1) {
+                    raw = m[1].str();
+                    found = true;
+                    break;
+                }
+            }
+        } else {
+            for (const std::string& line : lines) {
+                const std::vector<std::string> toks = split_tokens(line);
+                if (toks.empty() || toks[0] != ex.line_key) continue;
+                if (ex.column < toks.size()) {
+                    raw = toks[ex.column];
+                    found = true;
+                }
+                break;  // the first KEY line decides, hit or miss
+            }
+        }
+        if (!found) {
+            const std::string tail = tail_of(source);
+            error = "ExecRunner: response '" + ex.response +
+                    "' not found in simulator output" + (tail.empty() ? "" : ": " + tail);
+            return false;
+        }
+        char* end = nullptr;
+        errno = 0;
+        const double value = std::strtod(raw.c_str(), &end);
+        if (raw.empty() || end == raw.c_str() || *end != '\0' || errno == ERANGE) {
+            error = "ExecRunner: malformed value '" + raw + "' for response '" + ex.response +
+                    "'";
+            return false;
+        }
+        out.emplace(ex.response, value);
+    }
+    return true;
+}
+
+}  // namespace ehdoe::exec

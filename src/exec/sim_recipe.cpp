@@ -1,0 +1,274 @@
+#include "exec/sim_recipe.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <regex>
+#include <sstream>
+#include <stdexcept>
+
+namespace ehdoe::exec {
+
+namespace {
+
+/// Strip leading/trailing whitespace.
+std::string trim(const std::string& s) {
+    std::size_t b = 0, e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+    return s.substr(b, e - b);
+}
+
+[[noreturn]] void fail(const std::string& origin, std::size_t line_no, const std::string& what) {
+    throw std::runtime_error("SimRecipe: " + origin + ":" + std::to_string(line_no) + ": " +
+                             what);
+}
+
+/// FNV-1a 64-bit over a byte string.
+std::uint64_t fnv1a(std::uint64_t h, const std::string& s) {
+    for (const char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ull;
+    }
+    // Field separator so "ab"+"c" and "a"+"bc" cannot collide.
+    h ^= 0x1f;
+    h *= 1099511628211ull;
+    return h;
+}
+
+}  // namespace
+
+std::vector<std::string> split_tokens(const std::string& s) {
+    std::vector<std::string> out;
+    std::istringstream in(s);
+    std::string tok;
+    while (in >> tok) out.push_back(tok);
+    return out;
+}
+
+std::string format_double(double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%a", value);
+    return buf;
+}
+
+std::string format_point(const Vector& natural) {
+    std::string out;
+    for (std::size_t i = 0; i < natural.size(); ++i) {
+        if (i > 0) out += ' ';
+        out += format_double(natural[i]);
+    }
+    return out;
+}
+
+std::string render_template(const std::string& tmpl, const Vector& natural, std::size_t index,
+                            const std::string& workdir, const std::string& deck_path) {
+    std::string out;
+    out.reserve(tmpl.size());
+    for (std::size_t i = 0; i < tmpl.size();) {
+        if (tmpl[i] != '{') {
+            out += tmpl[i++];
+            continue;
+        }
+        const std::size_t close = tmpl.find('}', i);
+        if (close == std::string::npos)
+            throw std::runtime_error("SimRecipe: unterminated '{' in template: " + tmpl);
+        const std::string name = tmpl.substr(i + 1, close - i - 1);
+        if (name == "point") {
+            out += format_point(natural);
+        } else if (name == "index") {
+            out += std::to_string(index);
+        } else if (name == "workdir") {
+            out += workdir;
+        } else if (name == "deck") {
+            out += deck_path;
+        } else if (name.size() > 1 && name[0] == 'x' &&
+                   std::isdigit(static_cast<unsigned char>(name[1]))) {
+            char* end = nullptr;
+            const unsigned long k = std::strtoul(name.c_str() + 1, &end, 10);
+            if (*end != '\0' || k >= natural.size())
+                throw std::runtime_error("SimRecipe: coordinate placeholder {" + name +
+                                         "} out of range for a " +
+                                         std::to_string(natural.size()) + "-factor point");
+            out += format_double(natural[static_cast<std::size_t>(k)]);
+        } else {
+            throw std::runtime_error("SimRecipe: unknown placeholder {" + name +
+                                     "} in template: " + tmpl);
+        }
+        i = close + 1;
+    }
+    return out;
+}
+
+SimRecipe SimRecipe::parse(const std::string& text, const std::string& origin) {
+    SimRecipe r;
+    std::istringstream in(text);
+    std::string raw;
+    std::size_t line_no = 0;
+    bool saw_output = false;
+    while (std::getline(in, raw)) {
+        ++line_no;
+        const std::string line = trim(raw);
+        if (line.empty() || line[0] == '#') continue;
+        const std::size_t colon = line.find(':');
+        if (colon == std::string::npos) fail(origin, line_no, "expected 'key: value'");
+        const std::string key = trim(line.substr(0, colon));
+        const std::string value = trim(line.substr(colon + 1));
+        if (key == "command") {
+            r.command = value;
+        } else if (key == "input") {
+            if (value == "stdin") {
+                r.input = InputMode::Stdin;
+            } else if (value == "deck") {
+                r.input = InputMode::Deck;
+            } else {
+                fail(origin, line_no, "input must be 'stdin' or 'deck', got '" + value + "'");
+            }
+        } else if (key == "deck-file") {
+            if (value.empty() || value.find('/') != std::string::npos)
+                fail(origin, line_no, "deck-file must be a bare filename");
+            r.deck_file = value;
+        } else if (key == "deck-line") {
+            // Deliberately NOT trimmed-to-empty-forbidden: blank deck lines
+            // are legal, and `deck-line:` alone emits one.
+            r.deck_lines.push_back(value);
+        } else if (key == "output") {
+            saw_output = true;
+            if (value == "stdout") {
+                r.output = OutputMode::Stdout;
+            } else {
+                const std::vector<std::string> toks = split_tokens(value);
+                if (toks.size() != 2 || toks[0] != "file" ||
+                    toks[1].find('/') != std::string::npos)
+                    fail(origin, line_no,
+                         "output must be 'stdout' or 'file NAME' (bare filename), got '" +
+                             value + "'");
+                r.output = OutputMode::File;
+                r.output_file = toks[1];
+            }
+        } else if (key == "extract") {
+            // NAME regex PATTERN | NAME column KEY IDX
+            const std::size_t sp1 = value.find_first_of(" \t");
+            if (sp1 == std::string::npos) fail(origin, line_no, "extract needs a kind");
+            Extractor ex;
+            ex.response = value.substr(0, sp1);
+            const std::string rest = trim(value.substr(sp1));
+            const std::size_t sp2 = rest.find_first_of(" \t");
+            const std::string kind = sp2 == std::string::npos ? rest : rest.substr(0, sp2);
+            const std::string arg = sp2 == std::string::npos ? "" : trim(rest.substr(sp2));
+            if (kind == "regex") {
+                if (arg.empty()) fail(origin, line_no, "extract ... regex needs a pattern");
+                ex.kind = Extractor::Kind::Regex;
+                ex.pattern = arg;
+                try {
+                    const std::regex probe(ex.pattern, std::regex::ECMAScript);
+                    if (probe.mark_count() < 1)
+                        fail(origin, line_no,
+                             "regex for '" + ex.response + "' has no capture group");
+                } catch (const std::regex_error& e) {
+                    fail(origin, line_no,
+                         "bad regex for '" + ex.response + "': " + e.what());
+                }
+            } else if (kind == "column") {
+                const std::vector<std::string> toks = split_tokens(arg);
+                if (toks.size() != 2)
+                    fail(origin, line_no, "extract ... column needs 'KEY IDX'");
+                ex.kind = Extractor::Kind::Column;
+                ex.line_key = toks[0];
+                char* end = nullptr;
+                // strtoul would silently wrap a leading '-'; refuse it.
+                const unsigned long idx = std::strtoul(toks[1].c_str(), &end, 10);
+                if (toks[1][0] == '-' || *end != '\0' || idx == 0)
+                    fail(origin, line_no,
+                         "column index must be a positive token index (token 0 is KEY)");
+                ex.column = static_cast<std::size_t>(idx);
+            } else {
+                fail(origin, line_no, "extract kind must be 'regex' or 'column', got '" +
+                                          kind + "'");
+            }
+            for (const Extractor& prev : r.extractors) {
+                if (prev.response == ex.response)
+                    fail(origin, line_no, "duplicate extractor for '" + ex.response + "'");
+            }
+            r.extractors.push_back(std::move(ex));
+        } else if (key == "timeout") {
+            char* end = nullptr;
+            r.timeout_seconds = std::strtod(value.c_str(), &end);
+            // isfinite: NaN passes a plain `< 0` check and would poison the
+            // launch deadline into "never" — the opposite of a timeout.
+            if (value.empty() || *end != '\0' || !std::isfinite(r.timeout_seconds) ||
+                r.timeout_seconds < 0.0)
+                fail(origin, line_no, "timeout must be a finite non-negative number of seconds");
+        } else if (key == "retries") {
+            char* end = nullptr;
+            // strtoul would silently wrap "-1" to an effectively unbounded
+            // relaunch budget; refuse any sign.
+            const unsigned long n = std::strtoul(value.c_str(), &end, 10);
+            if (value.empty() || value[0] == '-' || value[0] == '+' || *end != '\0')
+                fail(origin, line_no, "retries must be a non-negative integer");
+            r.retries = static_cast<std::size_t>(n);
+        } else if (key == "keep-artifacts") {
+            if (value == "true") {
+                r.keep_artifacts = true;
+            } else if (value == "false") {
+                r.keep_artifacts = false;
+            } else {
+                fail(origin, line_no, "keep-artifacts must be 'true' or 'false'");
+            }
+        } else if (key == "scratch-dir") {
+            r.scratch_dir = value;
+        } else {
+            fail(origin, line_no, "unknown key '" + key + "'");
+        }
+    }
+    if (r.command.empty())
+        throw std::runtime_error("SimRecipe: " + origin + ": no 'command' given");
+    if (r.extractors.empty())
+        throw std::runtime_error("SimRecipe: " + origin + ": no 'extract' entries given");
+    if (r.output == OutputMode::File && r.output_file.empty())
+        throw std::runtime_error("SimRecipe: " + origin + ": output file name missing");
+    if (r.input == InputMode::Deck && r.deck_lines.empty())
+        throw std::runtime_error("SimRecipe: " + origin +
+                                 ": input is 'deck' but no deck-line entries given");
+    if (!saw_output) r.output = OutputMode::Stdout;
+    return r;
+}
+
+SimRecipe SimRecipe::parse_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw std::runtime_error("SimRecipe: cannot read '" + path + "'");
+    std::ostringstream text;
+    text << in.rdbuf();
+    return parse(text.str(), path);
+}
+
+std::string SimRecipe::fingerprint() const {
+    // Hash every field that affects what a launch computes. timeout,
+    // retries, keep_artifacts and scratch_dir are deliberately excluded:
+    // how patiently a simulator is awaited and where its scratch lives
+    // cannot change a successful response's value.
+    std::uint64_t h = 1469598103934665603ull;
+    h = fnv1a(h, "cmd");
+    h = fnv1a(h, command);
+    h = fnv1a(h, input == InputMode::Deck ? "deck" : "stdin");
+    h = fnv1a(h, deck_file);
+    for (const std::string& line : deck_lines) h = fnv1a(h, line);
+    h = fnv1a(h, output == OutputMode::File ? "file:" + output_file : "stdout");
+    for (const Extractor& ex : extractors) {
+        h = fnv1a(h, ex.response);
+        if (ex.kind == Extractor::Kind::Regex) {
+            h = fnv1a(h, "regex");
+            h = fnv1a(h, ex.pattern);
+        } else {
+            h = fnv1a(h, "column");
+            h = fnv1a(h, ex.line_key);
+            h = fnv1a(h, std::to_string(ex.column));
+        }
+    }
+    char buf[2 * sizeof h + 1];
+    std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(h));
+    return buf;
+}
+
+}  // namespace ehdoe::exec

@@ -1,0 +1,142 @@
+// ehdoe/exec/sim_recipe.hpp
+//
+// The declarative description of an external simulator: everything the
+// exec backend (exec/exec_backend.hpp) needs to turn "evaluate this
+// natural-unit point" into "launch that co-simulator process, feed it a
+// deck, parse its output". The paper's real workload is exactly this —
+// HDL co-simulations orchestrated by the DoE/RSM flow — and a recipe is
+// the only thing that changes between simulators; the farm machinery
+// (pooling, timeouts, retries, caching, sharding) is shared.
+//
+// A recipe is a line-oriented text file, `#` comments, `key: value`:
+//
+//   # S1 co-simulation through the mock HDL simulator
+//   command: ./mock_hdl_sim --deck {deck}
+//   input: deck                       # deck | stdin   (default stdin)
+//   deck-file: deck.txt               # name inside {workdir} (default deck.txt)
+//   deck-line: scenario S1
+//   deck-line: duration 30
+//   deck-line: index {index}
+//   deck-line: point {point}
+//   output: stdout                    # stdout | file NAME
+//   extract: E_harv regex ^E_harv=(\S+)$
+//   extract: E_cons column values 2
+//   timeout: 30                       # seconds per launch, 0 = unbounded
+//   retries: 1                        # relaunches after a nonzero exit
+//   keep-artifacts: false             # keep per-point scratch dirs
+//
+// Template placeholders, substituted per point at launch time:
+//
+//   {point}    all coordinates, space-separated C99 hexfloats ("%a" — the
+//              full 64 bits of every double survive the text round-trip,
+//              which is what keeps exec evaluation bitwise identical to
+//              in-process evaluation)
+//   {x0}..{xN} one coordinate, same formatting
+//   {index}    the point's dispatch index (artifact naming/diagnostics
+//              only — a simulator whose *responses* depend on it breaks
+//              the determinism contract)
+//   {workdir}  the per-launch scratch directory (absolute)
+//   {deck}     {workdir}/<deck-file>
+//
+// Named extractors pull the responses back out of the simulator's stdout
+// (or a declared output file):
+//
+//   extract: NAME regex PATTERN   — ECMAScript regex, searched line by
+//                                   line, first match wins; capture group
+//                                   1 is the value
+//   extract: NAME column KEY IDX  — first line whose first whitespace
+//                                   token equals KEY; the value is token
+//                                   IDX (0-based, KEY itself is token 0)
+//
+// Values parse with strtod, so simulators printing hexfloats round-trip
+// exactly. A recipe's fingerprint() is a content hash: it folds into the
+// persistent-cache identity and the eval-server handshake, so cached or
+// remotely served responses can never silently cross recipe revisions.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "numerics/matrix.hpp"
+
+namespace ehdoe::exec {
+
+using num::Vector;
+
+/// Where the rendered deck goes.
+enum class InputMode { Stdin, Deck };
+
+/// Where the responses come from.
+enum class OutputMode { Stdout, File };
+
+/// One named response extractor (see the header comment for semantics).
+struct Extractor {
+    enum class Kind { Regex, Column };
+    std::string response;  ///< response name the value is stored under
+    Kind kind = Kind::Regex;
+    std::string pattern;   ///< regex with >= 1 capture group (Kind::Regex)
+    std::string line_key;  ///< first token of the wanted line (Kind::Column)
+    std::size_t column = 0;  ///< 0-based token index in that line
+};
+
+struct SimRecipe {
+    /// Command template; tokenized on whitespace after substitution and
+    /// executed directly (no shell — quote-free by design, so a hostile
+    /// recipe cannot smuggle in `;`-chained commands). The process runs
+    /// with {workdir} as its working directory, so name the simulator by
+    /// absolute path or rely on PATH — a "./sim" relative to the recipe
+    /// will not resolve.
+    std::string command;
+    InputMode input = InputMode::Stdin;
+    /// Deck filename inside {workdir} (InputMode::Deck).
+    std::string deck_file = "deck.txt";
+    /// Deck body templates, one line each (also the stdin body).
+    std::vector<std::string> deck_lines;
+    OutputMode output = OutputMode::Stdout;
+    /// Output filename inside {workdir} (OutputMode::File).
+    std::string output_file;
+    std::vector<Extractor> extractors;
+    /// Per-launch wall-clock bound; expiry kills the simulator's whole
+    /// process group. 0 = unbounded.
+    double timeout_seconds = 0.0;
+    /// Relaunch budget per point after a nonzero exit or a crash (a timeout
+    /// is not retried — a hung simulator would just hang again).
+    std::size_t retries = 0;
+    /// Keep per-launch scratch directories (deck, stdout/stderr captures)
+    /// instead of removing them once the point is resolved.
+    bool keep_artifacts = false;
+    /// Scratch root; empty picks a fresh directory under the system temp.
+    std::string scratch_dir;
+
+    /// Content hash (hex) over every field that affects what a simulator
+    /// run computes. Folded into the persistent-cache fingerprint and the
+    /// exec eval-server's default handshake identity.
+    std::string fingerprint() const;
+
+    /// Parse recipe text; `origin` names the source in error messages.
+    /// Throws std::runtime_error (with line numbers) on malformed input,
+    /// unknown keys, uncompilable regexes or a structurally unusable
+    /// recipe (no command, no extractors, ...).
+    static SimRecipe parse(const std::string& text, const std::string& origin = "<recipe>");
+    /// Parse a recipe file; throws when unreadable.
+    static SimRecipe parse_file(const std::string& path);
+};
+
+/// Whitespace-tokenize (shared by the recipe parser and the launch
+/// engine's command/output splitting).
+std::vector<std::string> split_tokens(const std::string& s);
+
+/// Format one double as a C99 hexfloat ("%a"): exact 64-bit round-trip
+/// through text, strtod-parseable.
+std::string format_double(double value);
+/// All coordinates, space-separated hexfloats (the {point} substitution).
+std::string format_point(const Vector& natural);
+
+/// Substitute every placeholder of `tmpl` (see header comment). Unknown
+/// {...} placeholders throw — a typo must not silently reach a simulator.
+std::string render_template(const std::string& tmpl, const Vector& natural, std::size_t index,
+                            const std::string& workdir, const std::string& deck_path);
+
+}  // namespace ehdoe::exec

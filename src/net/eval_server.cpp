@@ -17,6 +17,7 @@
 #include <utility>
 
 #include "core/thread_pool.hpp"
+#include "exec/exec_runner.hpp"
 
 namespace ehdoe::net {
 
@@ -133,7 +134,8 @@ private:
 
 EvalServer::EvalServer(core::Simulation sim, EvalServerOptions options)
     : sim_(std::move(sim)), options_(std::move(options)) {
-    if (!sim_) throw std::invalid_argument("EvalServer: simulation required");
+    if (!sim_ && !options_.recipe)
+        throw std::invalid_argument("EvalServer: simulation or exec recipe required");
     if (options_.replicates == 0) throw std::invalid_argument("EvalServer: replicates >= 1");
     if (options_.workers == 0) options_.workers = core::ThreadPool::hardware_threads();
 }
@@ -146,7 +148,13 @@ void EvalServer::start() {
 
     // Fork the pipe workers (if any) before the listener and thread pool
     // exist: fork-before-threads, and the workers must not inherit sockets.
-    if (options_.worker_kind == core::BackendKind::Subprocess) {
+    // Exec mode forks fresh simulator processes per point instead (a
+    // fork+exec from a threaded process is safe — nothing of the parent
+    // image survives the exec).
+    if (options_.recipe) {
+        exec_runner_ = std::make_unique<exec::ExecRunner>(*options_.recipe,
+                                                          options_.replicates);
+    } else if (options_.worker_kind == core::BackendKind::Subprocess) {
         pipe_workers_ = std::make_unique<PipeWorkerPool>(sim_, options_.workers,
                                                          options_.replicates,
                                                          options_.worker_respawns);
@@ -188,7 +196,12 @@ void EvalServer::start() {
 }
 
 std::size_t EvalServer::worker_respawns() const {
+    if (exec_runner_) return exec_runner_->relaunches();
     return pipe_workers_ ? pipe_workers_->respawns() : 0;
+}
+
+std::size_t EvalServer::points_timed_out() const {
+    return exec_runner_ ? exec_runner_->timeouts() : 0;
 }
 
 ShardStats EvalServer::stats() const {
@@ -198,6 +211,8 @@ ShardStats EvalServer::stats() const {
     s.points_failed = points_failed();
     s.handshakes_rejected = handshakes_rejected();
     s.worker_respawns = worker_respawns();
+    s.points_timed_out = points_timed_out();
+    s.in_flight = points_in_flight();
     s.connections_accepted = connections_accepted();
     s.uptime_seconds =
         started_at_.time_since_epoch().count() == 0
@@ -240,6 +255,7 @@ void EvalServer::stop() {
     }
     pool_.reset();          // drains in-flight evaluations
     pipe_workers_.reset();  // closes pipes; workers _exit(0) on EOF
+    exec_runner_.reset();   // removes the (now empty) scratch root
 }
 
 void EvalServer::reap_finished_connections() {
@@ -293,6 +309,22 @@ void EvalServer::accept_loop() {
 }
 
 EvalResult EvalServer::evaluate_one(const Vector& point) {
+    // Occupancy for the stats frame: points inside this call right now.
+    struct InFlight {
+        std::atomic<std::size_t>& n;
+        explicit InFlight(std::atomic<std::size_t>& counter) : n(counter) { n.fetch_add(1); }
+        ~InFlight() { n.fetch_sub(1); }
+    } occupancy(in_flight_);
+
+    if (exec_runner_) {
+        exec::ExecOutcome outcome =
+            exec_runner_->run_point(point, exec_seq_.fetch_add(1));
+        EvalResult result;
+        result.ok = outcome.ok;
+        result.responses = std::move(outcome.responses);
+        result.error = std::move(outcome.error);
+        return result;
+    }
     if (pipe_workers_) return pipe_workers_->evaluate(point);
     EvalResult result;
     try {

@@ -2,7 +2,9 @@
 //
 // The eval-server daemon: one shard of the distributed evaluation service.
 // Listens on a TCP socket, hosts a pool of in-process or forked-subprocess
-// workers, and serves the versioned wire protocol (net/wire.hpp):
+// workers — or, in exec mode, drives an *external simulator process* per
+// point from a SimRecipe (exec/) — and serves the versioned wire protocol
+// (net/wire.hpp):
 //
 //   client                         server
 //     | -- hello (version, fp, reps) ->|   handshake: mismatched protocol
@@ -38,14 +40,20 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "exec/sim_recipe.hpp"
 #include "net/wire.hpp"
 
 namespace ehdoe::core {
 class ThreadPool;
+}
+
+namespace ehdoe::exec {
+class ExecRunner;
 }
 
 namespace ehdoe::net {
@@ -60,7 +68,15 @@ struct EvalServerOptions {
     std::size_t workers = 1;
     /// Where workers run: in-process thread pool, or forked worker
     /// processes (the crash-isolated mode for external co-simulators).
+    /// Ignored when `recipe` is set.
     core::BackendKind worker_kind = core::BackendKind::InProcess;
+    /// Exec mode: serve an external simulator described by this recipe
+    /// (exec/sim_recipe.hpp) instead of an in-process Simulation — each
+    /// point becomes one simulator process launch (x replicates), run by a
+    /// shared exec::ExecRunner with the recipe's timeout/retry policy. The
+    /// `sim` ctor argument may then be null; `workers` still bounds
+    /// concurrent launches.
+    std::optional<exec::SimRecipe> recipe;
     /// Replicates averaged per point; part of the handshake identity.
     std::size_t replicates = 1;
     /// Crashed subprocess-worker respawn budget (see BackendOptions).
@@ -97,8 +113,13 @@ public:
     std::size_t points_served() const { return served_.load(); }
     /// Points answered with an error frame (sim threw or worker crashed).
     std::size_t points_failed() const { return failed_.load(); }
-    /// Crashed subprocess workers replaced so far (0 for in-process pools).
+    /// Crashed subprocess workers replaced so far, or exec simulators
+    /// relaunched after nonzero exits (0 for in-process pools).
     std::size_t worker_respawns() const;
+    /// Points whose simulator hit the exec recipe's timeout (exec mode).
+    std::size_t points_timed_out() const;
+    /// Points being evaluated right now (worker occupancy).
+    std::size_t points_in_flight() const { return in_flight_.load(); }
     /// Stats connections answered (monitoring traffic, not eval traffic).
     std::size_t stats_served() const { return stats_served_.load(); }
 
@@ -132,6 +153,7 @@ private:
 
     std::unique_ptr<core::ThreadPool> pool_;
     std::unique_ptr<PipeWorkerPool> pipe_workers_;
+    std::unique_ptr<exec::ExecRunner> exec_runner_;
 
     std::mutex connections_mutex_;
     std::list<Connection> open_connections_;
@@ -141,6 +163,8 @@ private:
     std::atomic<std::size_t> served_{0};
     std::atomic<std::size_t> failed_{0};
     std::atomic<std::size_t> stats_served_{0};
+    std::atomic<std::size_t> in_flight_{0};
+    std::atomic<std::size_t> exec_seq_{0};
     std::chrono::steady_clock::time_point started_at_{};
 };
 

@@ -194,6 +194,7 @@ bool write_stats_reply(int fd, std::uint64_t status, const ShardStats& stats,
     return write_all(fd, &stats.version, sizeof stats.version) &&
            write_u64(fd, stats.points_served) && write_u64(fd, stats.points_failed) &&
            write_u64(fd, stats.handshakes_rejected) && write_u64(fd, stats.worker_respawns) &&
+           write_u64(fd, stats.points_timed_out) && write_u64(fd, stats.in_flight) &&
            write_u64(fd, stats.connections_accepted) &&
            write_all(fd, &stats.uptime_seconds, sizeof stats.uptime_seconds);
 }
@@ -211,6 +212,7 @@ bool read_stats_reply(int fd, std::uint64_t& status, ShardStats& stats, std::str
     return read_exact(fd, &stats.version, sizeof stats.version) &&
            read_u64(fd, stats.points_served) && read_u64(fd, stats.points_failed) &&
            read_u64(fd, stats.handshakes_rejected) && read_u64(fd, stats.worker_respawns) &&
+           read_u64(fd, stats.points_timed_out) && read_u64(fd, stats.in_flight) &&
            read_u64(fd, stats.connections_accepted) &&
            read_exact(fd, &stats.uptime_seconds, sizeof stats.uptime_seconds);
 }

@@ -31,6 +31,7 @@
 //   stats rep := u64 status
 //                status 0: u32 version, u64 points_served, u64 points_failed,
 //                          u64 handshakes_rejected, u64 worker_respawns,
+//                          u64 points_timed_out, u64 in_flight,
 //                          u64 connections_accepted, f64 uptime_seconds
 //                status != 0: u64 msg_len, bytes     (e.g. version mismatch)
 //
@@ -63,7 +64,10 @@ using num::Vector;
 // ---------------------------------------------------------------------------
 
 /// v2: the stats connection kind ("EHDOES") joined the protocol.
-inline constexpr std::uint32_t kProtocolVersion = 2;
+/// v3: the stats reply grew points_timed_out + in_flight (exec-based
+///     external simulators joined the farm; load/occupancy is display-only
+///     and stays outside the determinism contract).
+inline constexpr std::uint32_t kProtocolVersion = 3;
 inline constexpr char kHandshakeMagic[6] = {'E', 'H', 'D', 'O', 'E', 'N'};
 inline constexpr char kStatsMagic[6] = {'E', 'H', 'D', 'O', 'E', 'S'};
 
@@ -141,7 +145,13 @@ struct ShardStats {
     std::uint64_t points_served = 0;           ///< result frames answered
     std::uint64_t points_failed = 0;           ///< error frames answered
     std::uint64_t handshakes_rejected = 0;
-    std::uint64_t worker_respawns = 0;  ///< crashed subprocess workers replaced
+    /// Crashed subprocess workers replaced / exec simulators relaunched.
+    std::uint64_t worker_respawns = 0;
+    /// Points whose simulator hit the exec recipe's wall-clock timeout.
+    std::uint64_t points_timed_out = 0;
+    /// Points being evaluated right now (worker occupancy; display-only,
+    /// deliberately outside the determinism contract).
+    std::uint64_t in_flight = 0;
     std::uint64_t connections_accepted = 0;
     double uptime_seconds = 0.0;  ///< since the server start()ed
 };

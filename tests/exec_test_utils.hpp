@@ -1,0 +1,99 @@
+// Shared rig of the exec test suite (test_exec_backend, test_exec_faults):
+// recipe-text builders against the mock external HDL co-simulator
+// (tools/mock_hdl_sim_main.cpp, path injected by CMake as
+// EHDOE_MOCK_HDL_SIM) and scratch file/dir helpers.
+#pragma once
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "numerics/matrix.hpp"
+
+#ifndef EHDOE_MOCK_HDL_SIM
+#error "CMake must define EHDOE_MOCK_HDL_SIM (the mock simulator's path)"
+#endif
+
+namespace ehdoe::exec_test {
+
+inline std::string mock_path() { return EHDOE_MOCK_HDL_SIM; }
+
+/// A scratch directory that dies with the test (recursively).
+class TempDir {
+public:
+    explicit TempDir(const std::string& stem) {
+        static int seq = 0;
+        path_ = (std::filesystem::temp_directory_path() /
+                 (stem + "-" + std::to_string(::getpid()) + "-" + std::to_string(seq++)))
+                    .string();
+        std::filesystem::create_directories(path_);
+    }
+    ~TempDir() {
+        std::error_code ec;
+        std::filesystem::remove_all(path_, ec);
+    }
+    const std::string& path() const { return path_; }
+
+private:
+    std::string path_;
+};
+
+/// Write `text` to `dir/name` and return the full path.
+inline std::string write_file(const TempDir& dir, const std::string& name,
+                              const std::string& text) {
+    const std::string path = (std::filesystem::path(dir.path()) / name).string();
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << text;
+    return path;
+}
+
+/// Recipe text for the canonical S1 workload through the mock simulator,
+/// deliberately mixing regex and column extractors so both paths are
+/// exercised by every equivalence run. `mock_flags` appends fault flags to
+/// the command; `extra` appends whole recipe lines (timeout, retries, ...).
+inline std::string s1_recipe_text(double duration, const std::string& mock_flags = "",
+                                  const std::string& extra = "") {
+    std::string text = "command: " + mock_path() + " --deck {deck}";
+    if (!mock_flags.empty()) text += " " + mock_flags;
+    text +=
+        "\n"
+        "input: deck\n"
+        "deck-line: scenario S1\n"
+        "deck-line: duration " +
+        std::to_string(duration) +
+        "\n"
+        "deck-line: index {index}\n"
+        "deck-line: point {point}\n"
+        "output: stdout\n"
+        "extract: E_harv regex ^E_harv=(\\S+)$\n"
+        "extract: E_cons regex ^E_cons=(\\S+)$\n"
+        "extract: E_tune regex ^E_tune=(\\S+)$\n"
+        "extract: V_min column values 4\n"
+        "extract: downtime column values 5\n"
+        "extract: packets column values 6\n";
+    if (!extra.empty()) text += extra;
+    return text;
+}
+
+/// A small set of distinct natural-unit S1 points (factor order of the S1
+/// design space), spaced along the resonance factor.
+inline std::vector<num::Vector> s1_points(std::size_t n) {
+    std::vector<num::Vector> points;
+    points.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        num::Vector p(6);
+        p[0] = 50.0 + 0.5 * static_cast<double>(i);  // f_res0
+        p[1] = 0.5;                                  // deadband
+        p[2] = 0.01;                                 // duty
+        p[3] = 24.0;                                 // payload
+        p[4] = 0.1;                                  // C_store
+        p[5] = 5.0;                                  // check_period
+        points.push_back(std::move(p));
+    }
+    return points;
+}
+
+}  // namespace ehdoe::exec_test

@@ -6,18 +6,26 @@
 //
 //   ehdoe-eval-server --scenario S1 --port 4217 --workers 4
 //   ehdoe-eval-server --scenario S2 --duration 600 --mode subprocess
+//   ehdoe-eval-server --mode exec --recipe s1.recipe --port 4217
 //
 // Flags:
-//   --scenario S1|S2|S3   canonical scenario to serve (default S1)
+//   --scenario S1|S2|S3   canonical scenario to serve (default S1; unused
+//                         in exec mode — the recipe names the simulator)
 //   --duration SECONDS    simulation horizon override (default: scenario's)
 //   --host ADDR           interface to bind (default 127.0.0.1)
 //   --port PORT           TCP port; 0 picks an ephemeral port (default 0)
 //   --workers N           evaluation workers; 0 = hardware threads (default 0)
-//   --mode inprocess|subprocess
+//   --mode inprocess|subprocess|exec
 //                         worker pool kind (default inprocess; subprocess
-//                         isolates simulator crashes in forked processes)
+//                         isolates simulator crashes in forked processes;
+//                         exec launches an external co-simulator process
+//                         per point from --recipe)
+//   --recipe FILE         external-simulator recipe (requires --mode exec)
+//   --fingerprint STR     handshake identity override (default: the
+//                         scenario fingerprint, or "exec:" + the recipe's
+//                         content hash in exec mode)
 //   --replicates N        replicates averaged per point (default 1)
-//   --print-fingerprint   print the scenario fingerprint and exit
+//   --print-fingerprint   print the served fingerprint and exit
 //
 // On startup the daemon prints one "listening on HOST:PORT ..." line
 // (machine-readable; tests and scripts scrape the port), then serves until
@@ -32,6 +40,7 @@
 #include <thread>
 
 #include "core/scenario.hpp"
+#include "exec/sim_recipe.hpp"
 #include "net/eval_server.hpp"
 
 using namespace ehdoe;
@@ -45,8 +54,13 @@ void handle_signal(int) { g_stop = 1; }
 int usage(const char* argv0) {
     std::cerr << "usage: " << argv0
               << " [--scenario S1|S2|S3] [--duration s] [--host addr] [--port p]\n"
-                 "       [--workers n] [--mode inprocess|subprocess] [--replicates n]\n"
-                 "       [--print-fingerprint]\n";
+                 "       [--workers n] [--mode inprocess|subprocess|exec] [--recipe file]\n"
+                 "       [--fingerprint str] [--replicates n] [--print-fingerprint]\n";
+    return 2;
+}
+
+int flag_error(const std::string& message) {
+    std::cerr << "ehdoe-eval-server: " << message << "\n";
     return 2;
 }
 
@@ -56,6 +70,9 @@ int main(int argc, char** argv) {
     std::string scenario_name = "S1";
     double duration = -1.0;
     bool print_fingerprint = false;
+    std::string mode = "inprocess";
+    std::string recipe_path;
+    std::string fingerprint_override;
     net::EvalServerOptions options;
     options.workers = 0;
 
@@ -88,17 +105,29 @@ int main(int argc, char** argv) {
         } else if (arg == "--replicates") {
             const char* v = next();
             if (!v) return usage(argv[0]);
-            options.replicates = static_cast<std::size_t>(std::atoi(v));
+            // atoi would fold garbage and "0" together; both are config
+            // errors a daemon must refuse loudly, not half-apply.
+            char* end = nullptr;
+            const long n = std::strtol(v, &end, 10);
+            if (*v == '\0' || *end != '\0' || n < 1)
+                return flag_error("--replicates must be a positive integer, got '" +
+                                  std::string(v) + "'");
+            options.replicates = static_cast<std::size_t>(n);
         } else if (arg == "--mode") {
             const char* v = next();
             if (!v) return usage(argv[0]);
-            if (std::strcmp(v, "inprocess") == 0) {
-                options.worker_kind = core::BackendKind::InProcess;
-            } else if (std::strcmp(v, "subprocess") == 0) {
-                options.worker_kind = core::BackendKind::Subprocess;
-            } else {
-                return usage(argv[0]);
-            }
+            mode = v;
+            if (mode != "inprocess" && mode != "subprocess" && mode != "exec")
+                return flag_error("unknown --mode '" + mode +
+                                  "' (expected inprocess, subprocess or exec)");
+        } else if (arg == "--recipe") {
+            const char* v = next();
+            if (!v) return usage(argv[0]);
+            recipe_path = v;
+        } else if (arg == "--fingerprint") {
+            const char* v = next();
+            if (!v) return usage(argv[0]);
+            fingerprint_override = v;
         } else if (arg == "--print-fingerprint") {
             print_fingerprint = true;
         } else {
@@ -106,32 +135,46 @@ int main(int argc, char** argv) {
         }
     }
 
-    core::ScenarioId id;
-    if (scenario_name == "S1") {
-        id = core::ScenarioId::OfficeHvac;
-    } else if (scenario_name == "S2") {
-        id = core::ScenarioId::Industrial;
-    } else if (scenario_name == "S3") {
-        id = core::ScenarioId::Transport;
-    } else {
-        std::cerr << "unknown scenario '" << scenario_name << "' (expected S1, S2 or S3)\n";
-        return 2;
-    }
+    if (mode == "exec" && recipe_path.empty())
+        return flag_error("--mode exec requires --recipe FILE");
+    if (mode != "exec" && !recipe_path.empty())
+        return flag_error("--recipe only applies to --mode exec");
 
-    const core::Scenario scenario = core::Scenario::make(id, duration);
-    options.fingerprint = scenario.fingerprint();
+    core::Simulation sim;
+    std::string workload;
+    if (mode == "exec") {
+        try {
+            options.recipe = exec::SimRecipe::parse_file(recipe_path);
+        } catch (const std::exception& e) {
+            return flag_error(e.what());
+        }
+        options.fingerprint = "exec:" + options.recipe->fingerprint();
+        workload = "recipe=" + recipe_path;
+    } else {
+        core::ScenarioId id;
+        try {
+            id = core::scenario_from_name(scenario_name);
+        } catch (const std::exception& e) {
+            return flag_error(e.what());
+        }
+        const core::Scenario scenario = core::Scenario::make(id, duration);
+        options.fingerprint = scenario.fingerprint();
+        options.worker_kind = mode == "subprocess" ? core::BackendKind::Subprocess
+                                                   : core::BackendKind::InProcess;
+        sim = scenario.make_simulation();
+        workload = "scenario=" + scenario_name;
+    }
+    if (!fingerprint_override.empty()) options.fingerprint = fingerprint_override;
     if (print_fingerprint) {
         std::cout << options.fingerprint << "\n";
         return 0;
     }
 
     try {
-        net::EvalServer server(scenario.make_simulation(), options);
+        net::EvalServer server(std::move(sim), options);
         server.start();
-        std::cout << "listening on " << options.host << ":" << server.port() << " scenario="
-                  << scenario_name << " workers=" << server.options().workers << " mode="
-                  << (options.worker_kind == core::BackendKind::Subprocess ? "subprocess"
-                                                                           : "inprocess")
+        std::cout << "listening on " << options.host << ":" << server.port() << " "
+                  << workload << " workers=" << server.options().workers << " mode=" << mode
                   << " replicates=" << options.replicates << " fingerprint="
                   << options.fingerprint << std::endl;
 

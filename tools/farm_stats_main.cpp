@@ -2,22 +2,30 @@
 //
 // Polls every named eval-server endpoint with the stats frame of the wire
 // protocol (net/wire.hpp, "EHDOES" connection kind) and prints one table
-// row per shard: points served/failed, handshake rejects, worker respawns,
-// connections and uptime. The stats path is served outside the FIFO eval
-// pipeline, so polling a loaded farm never delays evaluation traffic.
+// row per shard: points served/failed, handshake rejects, worker respawns
+// (exec mode: simulator relaunches), timed-out points, in-flight points
+// (worker occupancy), connections and uptime. The stats path is served
+// outside the FIFO eval pipeline, so polling a loaded farm never delays
+// evaluation traffic; occupancy/timeouts are display-only and stay
+// outside the determinism contract.
 //
 //   ehdoe-farm-stats 10.0.0.5:4217 10.0.0.6:4217
 //   ehdoe-farm-stats --watch 5 :4217 :4218        # re-poll every 5 s
+//   ehdoe-farm-stats --json :4217 | jq .          # dashboards
 //
 // Flags:
 //   --watch SECONDS   keep polling at this interval (default: poll once)
 //   --count N         stop after N polls; without --watch, polls every
 //                     2 seconds
 //   --csv             emit CSV instead of the aligned table
+//   --json            emit one JSON object per poll (single line), with a
+//                     per-shard array — machine consumption without
+//                     table/CSV scraping
 //
 // Exit status: 0 when every endpoint answered the last poll, 1 when any
 // was unreachable or rejected the request, 2 on usage errors.
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -31,16 +39,43 @@ using namespace ehdoe;
 
 namespace {
 
+enum class Format { Table, Csv, Json };
+
 int usage(const char* argv0) {
     std::cerr << "usage: " << argv0
-              << " [--watch seconds] [--count n] [--csv] host:port [host:port ...]\n";
+              << " [--watch seconds] [--count n] [--csv | --json] host:port [host:port ...]\n";
     return 2;
 }
 
-/// One poll over every endpoint; prints the table, returns true when all
-/// endpoints answered. Endpoints are queried concurrently so down shards
-/// cost one query timeout for the whole poll, not one each.
-bool poll_once(const std::vector<net::Endpoint>& endpoints, bool csv) {
+/// Minimal JSON string escaping (quotes, backslashes, control chars) for
+/// the error diagnoses we embed; endpoint specs are already clean.
+std::string json_escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+/// One poll over every endpoint; prints per `format`, returns true when
+/// all endpoints answered. Endpoints are queried concurrently so down
+/// shards cost one query timeout for the whole poll, not one each.
+bool poll_once(const std::vector<net::Endpoint>& endpoints, Format format, long poll_index) {
     std::vector<net::ShardStats> stats(endpoints.size());
     std::vector<std::string> errors(endpoints.size());
     std::vector<char> reachable(endpoints.size(), 0);
@@ -53,10 +88,45 @@ bool poll_once(const std::vector<net::Endpoint>& endpoints, bool csv) {
     }
     for (std::thread& p : pollers) p.join();
 
-    core::Table t("Farm stats (" + std::to_string(endpoints.size()) + " shards)");
-    t.headers({"endpoint", "state", "served", "failed", "rejects", "respawns", "conns",
-               "uptime"});
     bool all_ok = true;
+    for (std::size_t i = 0; i < endpoints.size(); ++i) {
+        if (!reachable[i]) all_ok = false;
+    }
+
+    if (format == Format::Json) {
+        std::string out = "{\"poll\":" + std::to_string(poll_index) + ",\"shards\":[";
+        for (std::size_t i = 0; i < endpoints.size(); ++i) {
+            const net::Endpoint& e = endpoints[i];
+            const net::ShardStats& s = stats[i];
+            if (i > 0) out += ",";
+            out += "{\"endpoint\":\"" + json_escape(e.host + ":" + std::to_string(e.port)) +
+                   "\",\"up\":" + (reachable[i] ? "true" : "false");
+            if (reachable[i]) {
+                char uptime[32];
+                std::snprintf(uptime, sizeof uptime, "%.3f", s.uptime_seconds);
+                out += ",\"served\":" + std::to_string(s.points_served) +
+                       ",\"failed\":" + std::to_string(s.points_failed) +
+                       ",\"rejects\":" + std::to_string(s.handshakes_rejected) +
+                       ",\"respawns\":" + std::to_string(s.worker_respawns) +
+                       ",\"timeouts\":" + std::to_string(s.points_timed_out) +
+                       ",\"in_flight\":" + std::to_string(s.in_flight) +
+                       ",\"connections\":" + std::to_string(s.connections_accepted) +
+                       ",\"uptime_seconds\":" + uptime;
+            } else {
+                out += ",\"error\":\"" + json_escape(errors[i]) + "\"";
+            }
+            out += "}";
+        }
+        out += "],\"all_up\":";
+        out += all_ok ? "true" : "false";
+        out += "}";
+        std::cout << out << std::endl;
+        return all_ok;
+    }
+
+    core::Table t("Farm stats (" + std::to_string(endpoints.size()) + " shards)");
+    t.headers({"endpoint", "state", "served", "failed", "rejects", "respawns", "timeouts",
+               "inflight", "conns", "uptime"});
     for (std::size_t i = 0; i < endpoints.size(); ++i) {
         const net::Endpoint& e = endpoints[i];
         const net::ShardStats& s = stats[i];
@@ -69,15 +139,16 @@ bool poll_once(const std::vector<net::Endpoint>& endpoints, bool csv) {
                 .cell(static_cast<std::size_t>(s.points_failed))
                 .cell(static_cast<std::size_t>(s.handshakes_rejected))
                 .cell(static_cast<std::size_t>(s.worker_respawns))
+                .cell(static_cast<std::size_t>(s.points_timed_out))
+                .cell(static_cast<std::size_t>(s.in_flight))
                 .cell(static_cast<std::size_t>(s.connections_accepted))
                 .cell(core::format_seconds(s.uptime_seconds));
         } else {
-            all_ok = false;
             t.row().cell(label).cell("DOWN: " + errors[i]).cell("-").cell("-").cell("-").cell(
-                "-").cell("-").cell("-");
+                "-").cell("-").cell("-").cell("-").cell("-");
         }
     }
-    if (csv) {
+    if (format == Format::Csv) {
         t.print_csv(std::cout);
     } else {
         t.print(std::cout);
@@ -91,7 +162,7 @@ bool poll_once(const std::vector<net::Endpoint>& endpoints, bool csv) {
 int main(int argc, char** argv) {
     double watch_seconds = -1.0;
     long count = -1;
-    bool csv = false;
+    Format format = Format::Table;
     std::vector<net::Endpoint> endpoints;
 
     for (int i = 1; i < argc; ++i) {
@@ -111,7 +182,9 @@ int main(int argc, char** argv) {
             count = std::atol(v);
             if (count <= 0) return usage(argv[0]);
         } else if (arg == "--csv") {
-            csv = true;
+            format = Format::Csv;
+        } else if (arg == "--json") {
+            format = Format::Json;
         } else if (!arg.empty() && arg[0] == '-') {
             return usage(argv[0]);
         } else {
@@ -128,12 +201,12 @@ int main(int argc, char** argv) {
     // instead of silently ignoring it.
     if (count > 0 && watch_seconds <= 0.0) watch_seconds = 2.0;
 
-    bool all_ok = poll_once(endpoints, csv);
+    bool all_ok = poll_once(endpoints, format, 0);
     if (watch_seconds > 0.0) {
         for (long polls = 1; count < 0 || polls < count; ++polls) {
             std::this_thread::sleep_for(std::chrono::duration<double>(watch_seconds));
-            std::cout << "\n";
-            all_ok = poll_once(endpoints, csv);
+            if (format != Format::Json) std::cout << "\n";
+            all_ok = poll_once(endpoints, format, polls);
         }
     }
     return all_ok ? 0 : 1;
