@@ -9,18 +9,25 @@
 //   client                         server
 //     | -- hello (version, fp, reps) ->|   handshake: mismatched protocol
 //     | <- welcome (ok / reject) ------|   version, scenario fingerprint or
-//     | -- request (point) ----------->|   replicate count is rejected with
-//     | -- request (point) ----------->|   a message, never served garbage
-//     | <- result (responses/error) ---|
-//     | <- result (responses/error) ---|
+//     | -- batch request (k points) -->|   replicate count is rejected with
+//     | <- batch result (k frames) ----|   a message, never served garbage
 //
-// Requests pipeline: a client may keep several points in flight per
-// connection; responses come back in request order (FIFO). Each request is
-// evaluated by the shared worker pool, so pipelined points from one
-// connection — and points from concurrent connections — run in parallel up
-// to the configured worker count.
+// One epoll-driven event thread multiplexes every connection: it accepts,
+// parses handshakes and request frames incrementally off per-connection
+// buffers, hands decoded points to the shared worker pool, and flushes
+// completed response frames back with non-blocking writes. No thread is
+// ever parked on one peer's socket, so the connection count scales to
+// whatever the fd limit allows, not the thread budget.
 //
-// A simulation that throws answers *that* request with an error frame; the
+// Requests pipeline: a client may keep several frames in flight per
+// connection; responses come back in request order (FIFO per connection).
+// A protocol-v4 connection moves whole sub-batches per frame; a v3
+// connection (kMinProtocolVersion) is served with single-point frames off
+// the same loop — the handshake's version picks the framing. Points from
+// one frame — and from concurrent connections — evaluate in parallel up to
+// the configured worker count.
+//
+// A simulation that throws answers *that* point with an error frame; the
 // connection (and the server) stays up. With subprocess workers, a worker
 // that crashes outright also answers with an error frame, and the worker
 // is replaced while the bounded respawn budget lasts — one poisoned point
@@ -37,12 +44,12 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <list>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "exec/sim_recipe.hpp"
@@ -84,6 +91,11 @@ struct EvalServerOptions {
     /// Simulation identity (e.g. Scenario::fingerprint()); a client whose
     /// hello carries a different fingerprint is rejected at handshake.
     std::string fingerprint;
+    /// Newest protocol version this server admits (clamped to
+    /// [kMinProtocolVersion, kProtocolVersion]). The default serves the
+    /// full supported range; pinning kMinProtocolVersion emulates a
+    /// previous-version server for rollout/negotiation testing.
+    std::uint32_t max_protocol_version = kProtocolVersion;
 };
 
 class EvalServer {
@@ -95,9 +107,9 @@ public:
     EvalServer(const EvalServer&) = delete;
     EvalServer& operator=(const EvalServer&) = delete;
 
-    /// Bind + listen + start accepting. Throws on bind failure.
+    /// Bind + listen + start the event loop. Throws on bind failure.
     void start();
-    /// Shut every connection down, join all threads, reap workers.
+    /// Shut every connection down, join the event thread, reap workers.
     /// Idempotent.
     void stop();
     bool running() const { return running_.load(); }
@@ -129,34 +141,54 @@ public:
 
 private:
     struct PipeWorkerPool;
-    struct Connection {
-        int fd = -1;
-        std::thread thread;
-        std::atomic<bool> done{false};
-    };
+    struct ConnState;
+    struct PendingFrame;
 
-    void accept_loop();
-    void serve_connection(Connection& conn);
-    void serve_eval_connection(int fd);
-    void serve_stats_connection(int fd);
+    void event_loop();
+    void handle_accept();
+    /// Drain readable bytes and parse; false when the connection must close.
+    bool handle_readable(ConnState& conn);
+    bool parse_input(ConnState& conn);
+    bool process_hello(ConnState& conn, const Hello& hello);
+    void process_stats_request(ConnState& conn, std::uint32_t version);
+    /// Queue one decoded request frame: FIFO slot + one pool task per point.
+    void dispatch_frame(ConnState& conn, std::vector<Vector> points);
+    /// Encode every completed frame at the FIFO front into the out buffer.
+    void flush_ready_frames(ConnState& conn);
+    /// Non-blocking drain of the out buffer; false on a dead peer.
+    bool try_flush(ConnState& conn);
+    void update_interest(ConnState& conn);
+    /// Close + deregister; pool tasks still holding the conn's frames just
+    /// complete into discarded storage.
+    void close_conn(std::uint64_t id);
+    /// Worker-side: mark a frame's connection ready and wake the loop.
+    void notify_frame_done(std::uint64_t conn_id);
+    std::uint32_t max_version() const;
     EvalResult evaluate_one(const Vector& point);
-    void reap_finished_connections();
 
     core::Simulation sim_;
     EvalServerOptions options_;
 
     int listen_fd_ = -1;
+    int epoll_fd_ = -1;
+    int wake_fd_ = -1;  ///< eventfd: worker completions + stop() wake the loop
     std::uint16_t port_ = 0;
     std::atomic<bool> running_{false};
     std::atomic<bool> stopping_{false};
-    std::thread accept_thread_;
+    std::thread event_thread_;
 
     std::unique_ptr<core::ThreadPool> pool_;
     std::unique_ptr<PipeWorkerPool> pipe_workers_;
     std::unique_ptr<exec::ExecRunner> exec_runner_;
 
-    std::mutex connections_mutex_;
-    std::list<Connection> open_connections_;
+    /// Connections by id; touched only by the event thread.
+    std::unordered_map<std::uint64_t, std::unique_ptr<ConnState>> conn_states_;
+    std::uint64_t next_conn_id_ = 2;  // 0 = listener, 1 = wake eventfd
+
+    /// Connections whose frames completed, queued by worker tasks for the
+    /// event thread to flush (the one piece of shared loop state).
+    std::mutex done_mutex_;
+    std::vector<std::uint64_t> done_conns_;
 
     std::atomic<std::size_t> connections_{0};
     std::atomic<std::size_t> rejected_{0};

@@ -82,36 +82,69 @@ int connect_tcp(const Endpoint& endpoint, int timeout_seconds = 0) {
 /// kernel's TCP patience.
 constexpr int kSideChannelTimeoutSeconds = 5;
 
+/// Extract N from a "... server speaks N, ..." rejection message — the
+/// negotiation hook an older server leaves in its version refusal.
+bool parse_server_speaks(const std::string& message, std::uint32_t& version) {
+    static const std::string kNeedle = "server speaks ";
+    const auto at = message.find(kNeedle);
+    if (at == std::string::npos) return false;
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(message.c_str() + at + kNeedle.size(), &end, 10);
+    if (end == message.c_str() + at + kNeedle.size() || v == 0) return false;
+    version = static_cast<std::uint32_t>(v);
+    return true;
+}
+
+struct NegotiatedConn {
+    int fd = -1;
+    std::uint32_t version = kProtocolVersion;
+};
+
 /// Connect + handshake one endpoint; throws with the server's message on
-/// refusal, a transport diagnosis otherwise. Returns a connected fd. The
-/// connect and the handshake round-trip are time-bounded (a wedged server
+/// refusal, a transport diagnosis otherwise. Returns a connected fd plus
+/// the protocol version the connection settled on: in auto mode the client
+/// leads with the newest version and, when an older server names the
+/// version it speaks in its rejection, re-dials once at that version. The
+/// connect and handshake round-trips are time-bounded (a wedged server
 /// cannot stall construction or a re-dial); the bound is lifted before the
 /// fd is returned, because eval reads legitimately wait as long as a slow
 /// simulation takes.
-int connect_endpoint(const Endpoint& endpoint, const RemoteBackendOptions& options) {
-    const int fd = connect_tcp(endpoint, kSideChannelTimeoutSeconds);
+NegotiatedConn connect_endpoint(const Endpoint& endpoint, const RemoteBackendOptions& options) {
+    std::uint32_t version =
+        options.protocol_version == 0 ? kProtocolVersion : options.protocol_version;
+    for (;;) {
+        const int fd = connect_tcp(endpoint, kSideChannelTimeoutSeconds);
 
-    Hello hello;
-    hello.version = kProtocolVersion;
-    hello.fingerprint = options.fingerprint;
-    hello.replicates = options.replicates;
-    std::uint64_t status = kStatusError;
-    std::string message;
-    if (!write_hello(fd, hello) || !read_welcome(fd, status, message)) {
+        Hello hello;
+        hello.version = version;
+        hello.fingerprint = options.fingerprint;
+        hello.replicates = options.replicates;
+        std::uint64_t status = kStatusError;
+        std::string message;
+        if (!write_hello(fd, hello) || !read_welcome(fd, status, message)) {
+            ::close(fd);
+            throw std::runtime_error("RemoteBackend: handshake with " +
+                                     endpoint_label(endpoint) +
+                                     " failed (connection dropped)");
+        }
+        if (status == kStatusOk) {
+            // Handshake done: lift the side-channel bound for the eval
+            // lifetime.
+            timeval unbounded{};
+            ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &unbounded, sizeof unbounded);
+            ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &unbounded, sizeof unbounded);
+            return {fd, version};
+        }
         ::close(fd);
-        throw std::runtime_error("RemoteBackend: handshake with " + endpoint_label(endpoint) +
-                                 " failed (connection dropped)");
-    }
-    if (status != kStatusOk) {
-        ::close(fd);
+        std::uint32_t server_version = 0;
+        if (options.protocol_version == 0 && parse_server_speaks(message, server_version) &&
+            server_version >= kMinProtocolVersion && server_version < version) {
+            version = server_version;  // downgrade and re-dial
+            continue;
+        }
         throw std::runtime_error("RemoteBackend: endpoint " + endpoint_label(endpoint) +
                                  " rejected the handshake: " + message);
     }
-    // Handshake done: lift the side-channel bound for the eval lifetime.
-    timeval unbounded{};
-    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &unbounded, sizeof unbounded);
-    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &unbounded, sizeof unbounded);
-    return fd;
 }
 
 }  // namespace
@@ -170,15 +203,21 @@ bool query_shard_stats(const Endpoint& endpoint, ShardStats& stats, std::string&
     return ok;
 }
 
-/// One persistent shard connection plus its per-batch dispatch state.
+/// One persistent shard connection plus its per-batch dispatch state. The
+/// dispatch unit is a *frame* — an ordered list of point indices that
+/// travels as one wire frame: a v4 connection gets its whole sub-batch as
+/// one frame, a v3 connection one single-point frame per point.
 struct RemoteBackend::Conn {
     Endpoint endpoint;
     std::size_t slot = 0;  ///< index into options().endpoints
     int fd = -1;
+    std::uint32_t version = kProtocolVersion;  ///< negotiated at handshake
     bool alive = false;       ///< liveness as of the last batch/re-dial
     bool dead_batch = false;  ///< died during the batch in flight
-    std::deque<std::size_t> to_send;
-    std::deque<std::size_t> in_flight;
+    std::deque<std::vector<std::size_t>> to_send;
+    std::deque<std::vector<std::size_t>> in_flight;
+    /// Reused encode buffer: batch requests gather into it, one send each.
+    std::vector<unsigned char> scratch;
     /// Recorded serve ledger: points this shard delivered in *completed*
     /// batches — the only input of the derived assignment weights.
     std::uint64_t completed_points = 0;
@@ -195,6 +234,12 @@ RemoteBackend::RemoteBackend(RemoteBackendOptions options) : options_(std::move(
     if (options_.replicates == 0)
         throw std::invalid_argument("RemoteBackend: replicates >= 1");
     if (options_.pipeline == 0) options_.pipeline = 1;
+    if (options_.protocol_version != 0 &&
+        (options_.protocol_version < kMinProtocolVersion ||
+         options_.protocol_version > kProtocolVersion))
+        throw std::invalid_argument("RemoteBackend: protocol_version must be 0 (negotiate) or in [" +
+                                    std::to_string(kMinProtocolVersion) + ", " +
+                                    std::to_string(kProtocolVersion) + "]");
     if (!options_.shard_weights.empty()) {
         if (options_.shard_weights.size() != options_.endpoints.size())
             throw std::invalid_argument(
@@ -211,7 +256,9 @@ RemoteBackend::RemoteBackend(RemoteBackendOptions options) : options_(std::move(
             auto conn = std::make_unique<Conn>();
             conn->endpoint = e;
             conn->slot = conns_.size();
-            conn->fd = connect_endpoint(e, options_);
+            const NegotiatedConn negotiated = connect_endpoint(e, options_);
+            conn->fd = negotiated.fd;
+            conn->version = negotiated.version;
             register_parent_fd(conn->fd);
             conn->alive = true;
             conns_.push_back(std::move(conn));
@@ -241,6 +288,14 @@ std::size_t RemoteBackend::live_endpoints() const {
     return n;
 }
 
+std::vector<std::uint32_t> RemoteBackend::negotiated_versions() const {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    std::vector<std::uint32_t> versions;
+    versions.reserve(conns_.size());
+    for (const auto& c : conns_) versions.push_back(c->version);
+    return versions;
+}
+
 std::string RemoteBackend::name() const {
     return "remote(" + std::to_string(conns_.size()) + " shards)";
 }
@@ -258,17 +313,19 @@ void RemoteBackend::maybe_redial() {
         ++redials_;
         try {
             // Full reconnect + re-handshake: a restarted server must prove
-            // it still speaks the same protocol/fingerprint/replicates
-            // before it gets work again.
-            const int fd = connect_endpoint(c->endpoint, options_);
+            // it still speaks a compatible protocol/fingerprint/replicates
+            // before it gets work again (it may even have changed protocol
+            // version across the restart — the handshake re-negotiates).
+            const NegotiatedConn negotiated = connect_endpoint(c->endpoint, options_);
             if (c->fd >= 0) {
                 unregister_parent_fd(c->fd);
                 ::close(c->fd);
             }
-            c->fd = fd;
-            register_parent_fd(fd);
+            c->fd = negotiated.fd;
+            register_parent_fd(c->fd);
             {
                 std::lock_guard<std::mutex> lock(state_mutex_);
+                c->version = negotiated.version;
                 c->alive = true;
             }
             ++rejoins_;
@@ -375,10 +432,20 @@ std::vector<core::ResponseMap> RemoteBackend::evaluate(const std::vector<Vector>
         assignment = weighted_assignment(n, live_weights(live, n));
     }
     last_assignment_.assign(n, 0);
+    std::vector<std::vector<std::size_t>> sub_batch(live.size());
     for (std::size_t i = 0; i < n; ++i) {
-        Conn* c = live[assignment[i]];
-        c->to_send.push_back(i);
-        last_assignment_[i] = c->slot;
+        sub_batch[assignment[i]].push_back(i);
+        last_assignment_[i] = live[assignment[i]]->slot;
+    }
+    // Frame up each shard's sub-batch to match its negotiated framing: one
+    // batch frame on v4, one single-point frame per point on v3.
+    for (std::size_t k = 0; k < live.size(); ++k) {
+        if (sub_batch[k].empty()) continue;
+        if (live[k]->version >= 4) {
+            live[k]->to_send.push_back(std::move(sub_batch[k]));
+        } else {
+            for (const std::size_t idx : sub_batch[k]) live[k]->to_send.push_back({idx});
+        }
     }
 
     // Shared batch state. `unresolved` counts points without a recorded
@@ -429,9 +496,10 @@ std::vector<core::ResponseMap> RemoteBackend::evaluate(const std::vector<Vector>
     };
 
     // Mark a shard dead and re-dispatch everything it still owed — both
-    // unsent and in-flight points (their responses will never arrive) —
-    // round-robin over the surviving shards. Idempotent per batch: the
-    // sender and receiver of a dying connection both land here.
+    // unsent and in-flight frames (their responses will never arrive) —
+    // round-robin over the surviving shards, re-framed to each survivor's
+    // negotiated framing. Idempotent per batch: the sender and receiver of
+    // a dying connection both land here.
     auto on_conn_dead = [&](Conn& c) {
         std::lock_guard<std::mutex> lock(mu);
         if (c.dead_batch) return;
@@ -443,10 +511,15 @@ std::vector<core::ResponseMap> RemoteBackend::evaluate(const std::vector<Vector>
         }
         ::shutdown(c.fd, SHUT_RDWR);  // wake the peer thread blocked on I/O
 
-        inflight_total -= c.in_flight.size();
-        std::deque<std::size_t> pending;
-        pending.swap(c.in_flight);
-        pending.insert(pending.end(), c.to_send.begin(), c.to_send.end());
+        std::vector<std::size_t> pending;
+        for (const auto& frame : c.in_flight) {
+            inflight_total -= frame.size();
+            pending.insert(pending.end(), frame.begin(), frame.end());
+        }
+        c.in_flight.clear();
+        for (const auto& frame : c.to_send) {
+            pending.insert(pending.end(), frame.begin(), frame.end());
+        }
         c.to_send.clear();
 
         std::vector<Conn*> survivors;
@@ -463,9 +536,19 @@ std::vector<core::ResponseMap> RemoteBackend::evaluate(const std::vector<Vector>
             }
             abort = true;
         } else {
+            std::vector<std::vector<std::size_t>> share(survivors.size());
             std::size_t rr = 0;
             for (const std::size_t idx : pending) {
-                survivors[rr++ % survivors.size()]->to_send.push_back(idx);
+                share[rr++ % survivors.size()].push_back(idx);
+            }
+            for (std::size_t k = 0; k < survivors.size(); ++k) {
+                if (share[k].empty()) continue;
+                if (survivors[k]->version >= 4) {
+                    survivors[k]->to_send.push_back(std::move(share[k]));
+                } else {
+                    for (const std::size_t idx : share[k])
+                        survivors[k]->to_send.push_back({idx});
+                }
             }
         }
         cv.notify_all();
@@ -473,7 +556,7 @@ std::vector<core::ResponseMap> RemoteBackend::evaluate(const std::vector<Vector>
 
     auto sender = [&](Conn& c) {
         for (;;) {
-            std::size_t idx = 0;
+            std::vector<std::size_t> frame;
             {
                 std::unique_lock<std::mutex> lock(mu);
                 cv.wait(lock, [&] {
@@ -481,14 +564,19 @@ std::vector<core::ResponseMap> RemoteBackend::evaluate(const std::vector<Vector>
                            (!c.to_send.empty() && c.in_flight.size() < options_.pipeline);
                 });
                 if (c.dead_batch || abort || finished()) return;
-                idx = c.to_send.front();
+                frame = c.to_send.front();
                 c.to_send.pop_front();
-                c.in_flight.push_back(idx);
-                ++inflight_total;
+                c.in_flight.push_back(frame);
+                inflight_total += frame.size();
                 ++dispatched;
                 cv.notify_all();
             }
-            if (!write_request(c.fd, points[idx])) {
+            // The write happens on the local `frame` copy: on_conn_dead may
+            // clear the in_flight deque concurrently.
+            const bool write_ok = c.version >= 4
+                                      ? write_batch_request(c.fd, points, frame, c.scratch)
+                                      : write_request(c.fd, points[frame.front()]);
+            if (!write_ok) {
                 on_conn_dead(c);
                 return;
             }
@@ -496,7 +584,9 @@ std::vector<core::ResponseMap> RemoteBackend::evaluate(const std::vector<Vector>
     };
 
     auto receiver = [&](Conn& c) {
+        std::vector<EvalResult> results;
         for (;;) {
+            std::size_t expected = 0;
             {
                 std::unique_lock<std::mutex> lock(mu);
                 cv.wait(lock, [&] {
@@ -505,14 +595,22 @@ std::vector<core::ResponseMap> RemoteBackend::evaluate(const std::vector<Vector>
                 });
                 if (c.dead_batch) return;
                 if (c.in_flight.empty()) return;  // batch done or abort-drained
+                expected = c.in_flight.front().size();
             }
-            EvalResult result;
-            if (!read_result(c.fd, result)) {
+            bool io_ok;
+            if (c.version >= 4) {
+                // A result frame owes exactly the points its request frame
+                // carried; any other count is a broken peer.
+                io_ok = read_batch_result(c.fd, expected, results);
+            } else {
+                results.assign(1, EvalResult{});
+                io_ok = read_result(c.fd, results[0]);
+            }
+            if (!io_ok) {
                 on_conn_dead(c);
                 return;
             }
-            bool recorded_ok = false;
-            std::size_t recorded_idx = 0;
+            std::vector<std::size_t> report;  // recorded-ok points, in frame order
             {
                 std::lock_guard<std::mutex> lock(mu);
                 // The sender may have declared this connection dead between
@@ -520,27 +618,30 @@ std::vector<core::ResponseMap> RemoteBackend::evaluate(const std::vector<Vector>
                 // re-dispatched, so discard the duplicate (re-execution is
                 // bitwise identical).
                 if (c.dead_batch) return;
-                const std::size_t idx = c.in_flight.front();
+                const std::vector<std::size_t> indices = std::move(c.in_flight.front());
                 c.in_flight.pop_front();
-                --inflight_total;
-                if (result.ok) {
-                    out[idx] = std::move(result.responses);
-                    ++completed;
-                    --unresolved;
-                    ++c.batch_completed;
-                    recorded_ok = true;
-                    recorded_idx = idx;
-                } else {
-                    errors[idx] = "RemoteBackend: simulation failed at point " +
-                                  std::to_string(idx) + " on " + endpoint_label(c.endpoint) +
-                                  ": " + result.error;
-                    has_error[idx] = 1;
-                    abort = true;
-                    --unresolved;
+                inflight_total -= indices.size();
+                for (std::size_t j = 0; j < indices.size(); ++j) {
+                    const std::size_t idx = indices[j];
+                    EvalResult& result = results[j];
+                    if (result.ok) {
+                        out[idx] = std::move(result.responses);
+                        ++completed;
+                        --unresolved;
+                        ++c.batch_completed;
+                        report.push_back(idx);
+                    } else {
+                        errors[idx] = "RemoteBackend: simulation failed at point " +
+                                      std::to_string(idx) + " on " +
+                                      endpoint_label(c.endpoint) + ": " + result.error;
+                        has_error[idx] = 1;
+                        abort = true;
+                        --unresolved;
+                    }
                 }
                 cv.notify_all();
             }
-            if (recorded_ok) report_point(recorded_idx);
+            for (const std::size_t idx : report) report_point(idx);
         }
     };
 

@@ -110,6 +110,97 @@ bool read_result(int fd, EvalResult& result) {
 }
 
 // ---------------------------------------------------------------------------
+// Batch frames (protocol v4)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void append_u64(std::vector<unsigned char>& out, std::uint64_t v) {
+    const auto* p = reinterpret_cast<const unsigned char*>(&v);
+    out.insert(out.end(), p, p + sizeof v);
+}
+
+void append_bytes(std::vector<unsigned char>& out, const void* data, std::size_t len) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    out.insert(out.end(), p, p + len);
+}
+
+}  // namespace
+
+void encode_batch_request(std::vector<unsigned char>& out, const std::vector<Vector>& points,
+                          const std::vector<std::size_t>& indices) {
+    const std::size_t dim = indices.empty() ? 0 : points[indices.front()].size();
+    out.reserve(out.size() + 2 * sizeof(std::uint64_t) +
+                indices.size() * dim * sizeof(double));
+    append_u64(out, indices.size());
+    append_u64(out, dim);
+    for (const std::size_t idx : indices) {
+        append_bytes(out, points[idx].data(), dim * sizeof(double));
+    }
+}
+
+bool write_batch_request(int fd, const std::vector<Vector>& points,
+                         const std::vector<std::size_t>& indices,
+                         std::vector<unsigned char>& scratch) {
+    scratch.clear();
+    encode_batch_request(scratch, points, indices);
+    return write_all(fd, scratch.data(), scratch.size());
+}
+
+bool read_batch_request(int fd, std::vector<Vector>& points) {
+    std::uint64_t count = 0;
+    std::uint64_t dim = 0;
+    if (!read_u64(fd, count) || count == 0 || count > kSaneLimit) return false;
+    if (!read_u64(fd, dim) || dim > kSaneLimit || count * dim > kSaneLimit) return false;
+    points.assign(static_cast<std::size_t>(count), Vector(static_cast<std::size_t>(dim)));
+    for (Vector& p : points) {
+        if (!read_exact(fd, p.data(), sizeof(double) * p.size())) return false;
+    }
+    return true;
+}
+
+void encode_result(std::vector<unsigned char>& out, const EvalResult& result) {
+    if (result.ok) {
+        append_u64(out, kStatusOk);
+        append_u64(out, result.responses.size());
+        for (const auto& [name, value] : result.responses) {
+            append_u64(out, name.size());
+            append_bytes(out, name.data(), name.size());
+            append_bytes(out, &value, sizeof value);
+        }
+        return;
+    }
+    append_u64(out, kStatusError);
+    append_u64(out, result.error.size());
+    append_bytes(out, result.error.data(), result.error.size());
+}
+
+void encode_batch_result(std::vector<unsigned char>& out,
+                         const std::vector<EvalResult>& results) {
+    append_u64(out, results.size());
+    for (const EvalResult& r : results) encode_result(out, r);
+}
+
+bool write_batch_result(int fd, const std::vector<EvalResult>& results,
+                        std::vector<unsigned char>& scratch) {
+    scratch.clear();
+    encode_batch_result(scratch, results);
+    return write_all(fd, scratch.data(), scratch.size());
+}
+
+bool read_batch_result(int fd, std::size_t expected, std::vector<EvalResult>& results) {
+    results.clear();
+    std::uint64_t count = 0;
+    if (!read_u64(fd, count) || count != expected) return false;
+    results.resize(static_cast<std::size_t>(count));
+    for (EvalResult& r : results) {
+        // Each body is exactly one v3 response frame (status + payload).
+        if (!read_result(fd, r)) return false;
+    }
+    return true;
+}
+
+// ---------------------------------------------------------------------------
 // Handshake frames
 // ---------------------------------------------------------------------------
 
@@ -134,6 +225,14 @@ bool read_hello_body(int fd, Hello& hello) {
     hello.fingerprint.assign(static_cast<std::size_t>(fp_len), '\0');
     if (!read_exact(fd, hello.fingerprint.data(), hello.fingerprint.size())) return false;
     return read_u64(fd, hello.replicates);
+}
+
+void encode_welcome(std::vector<unsigned char>& out, std::uint64_t status,
+                    const std::string& message) {
+    append_u64(out, status);
+    if (status == kStatusOk) return;
+    append_u64(out, message.size());
+    append_bytes(out, message.data(), message.size());
 }
 
 bool write_welcome(int fd, std::uint64_t status, const std::string& message) {
@@ -182,6 +281,25 @@ bool write_stats_request(int fd, std::uint32_t version) {
 
 bool read_stats_request_body(int fd, std::uint32_t& version) {
     return read_exact(fd, &version, sizeof version);
+}
+
+void encode_stats_reply(std::vector<unsigned char>& out, std::uint64_t status,
+                        const ShardStats& stats, const std::string& message) {
+    append_u64(out, status);
+    if (status != kStatusOk) {
+        append_u64(out, message.size());
+        append_bytes(out, message.data(), message.size());
+        return;
+    }
+    append_bytes(out, &stats.version, sizeof stats.version);
+    append_u64(out, stats.points_served);
+    append_u64(out, stats.points_failed);
+    append_u64(out, stats.handshakes_rejected);
+    append_u64(out, stats.worker_respawns);
+    append_u64(out, stats.points_timed_out);
+    append_u64(out, stats.in_flight);
+    append_u64(out, stats.connections_accepted);
+    append_bytes(out, &stats.uptime_seconds, sizeof stats.uptime_seconds);
 }
 
 bool write_stats_reply(int fd, std::uint64_t status, const ShardStats& stats,

@@ -14,6 +14,23 @@
 //                status 0: u64 n, n x { u64 name_len, bytes, f64 value }
 //                status 1: u64 msg_len, bytes        (simulation failed)
 //
+// Protocol v4 adds multi-point batch frames: one request frame carries a
+// shard's whole sub-batch and one result frame carries all its responses,
+// so the per-point framing overhead (a syscall pair and a network
+// round-trip per point) collapses to one per sub-batch. Both sides
+// scatter/gather through reused scratch buffers — encode builds the whole
+// frame in one contiguous buffer and writes it with a single send.
+//
+//   batch request := u64 count, u64 dim, count*dim x f64   (points, row-major)
+//   batch result  := u64 count, count x response-body      (request order)
+//
+// Which framing a TCP connection speaks is fixed by the handshake: a
+// server accepts any hello version in [kMinProtocolVersion,
+// kProtocolVersion] and serves that connection at the client's version, so
+// v3 single-point peers interoperate with v4 servers (and a v4 client
+// downgrades to a v3-only server by re-dialing at the version the
+// rejection message names).
+//
 // TCP connections additionally start with a handshake so mismatched peers
 // are rejected cleanly instead of exchanging garbage frames:
 //
@@ -67,7 +84,13 @@ using num::Vector;
 /// v3: the stats reply grew points_timed_out + in_flight (exec-based
 ///     external simulators joined the farm; load/occupancy is display-only
 ///     and stays outside the determinism contract).
-inline constexpr std::uint32_t kProtocolVersion = 3;
+/// v4: multi-point batch frames — one request frame per sub-batch, one
+///     result frame with all its responses (the wire hot-path overhaul).
+inline constexpr std::uint32_t kProtocolVersion = 4;
+/// Oldest hello version a server still accepts; such a connection is
+/// served with that version's framing (v3 = single-point frames), so a
+/// fleet can roll the protocol forward one version at a time.
+inline constexpr std::uint32_t kMinProtocolVersion = 3;
 inline constexpr char kHandshakeMagic[6] = {'E', 'H', 'D', 'O', 'E', 'N'};
 inline constexpr char kStatsMagic[6] = {'E', 'H', 'D', 'O', 'E', 'S'};
 
@@ -108,6 +131,35 @@ bool write_result(int fd, const EvalResult& result);
 bool read_result(int fd, EvalResult& result);
 
 // ---------------------------------------------------------------------------
+// Batch frames (protocol v4). Encoders append to a caller-owned buffer so
+// hot paths reuse one allocation across batches; the write_* wrappers clear
+// the scratch, encode, and push the whole frame with a single send.
+// ---------------------------------------------------------------------------
+
+/// Append one batch request frame carrying points[indices[0..k)] (all of
+/// one dimension) to `out`.
+void encode_batch_request(std::vector<unsigned char>& out, const std::vector<Vector>& points,
+                          const std::vector<std::size_t>& indices);
+bool write_batch_request(int fd, const std::vector<Vector>& points,
+                         const std::vector<std::size_t>& indices,
+                         std::vector<unsigned char>& scratch);
+/// Blocking decode of one whole batch request (tests and simple servers;
+/// EvalServer parses the same layout incrementally off its epoll buffers).
+bool read_batch_request(int fd, std::vector<Vector>& points);
+
+/// Append one response body (the bytes after a v3 status would travel
+/// identically) to `out`; batch results are `u64 count` + count bodies.
+void encode_result(std::vector<unsigned char>& out, const EvalResult& result);
+void encode_batch_result(std::vector<unsigned char>& out,
+                         const std::vector<EvalResult>& results);
+bool write_batch_result(int fd, const std::vector<EvalResult>& results,
+                        std::vector<unsigned char>& scratch);
+/// Read one batch result frame into `results` (storage reused). The caller
+/// knows how many responses its request frame is owed; a frame whose count
+/// differs is a broken peer and fails the read before any decode.
+bool read_batch_result(int fd, std::size_t expected, std::vector<EvalResult>& results);
+
+// ---------------------------------------------------------------------------
 // Handshake frames (TCP only)
 // ---------------------------------------------------------------------------
 
@@ -123,6 +175,9 @@ bool read_hello(int fd, Hello& hello);
 /// status kStatusOk accepts; anything else carries a rejection message.
 bool write_welcome(int fd, std::uint64_t status, const std::string& message);
 bool read_welcome(int fd, std::uint64_t& status, std::string& message);
+/// Buffer-encode form of write_welcome, for non-blocking writers.
+void encode_welcome(std::vector<unsigned char>& out, std::uint64_t status,
+                    const std::string& message);
 
 // ---------------------------------------------------------------------------
 // Connection-kind dispatch and the stats frame (TCP only). A server reads
@@ -164,6 +219,9 @@ bool read_stats_request_body(int fd, std::uint32_t& version);
 bool write_stats_reply(int fd, std::uint64_t status, const ShardStats& stats,
                        const std::string& message);
 bool read_stats_reply(int fd, std::uint64_t& status, ShardStats& stats, std::string& message);
+/// Buffer-encode form of write_stats_reply, for non-blocking writers.
+void encode_stats_reply(std::vector<unsigned char>& out, std::uint64_t status,
+                        const ShardStats& stats, const std::string& message);
 
 // ---------------------------------------------------------------------------
 // The worker side of the protocol: serve request frames until EOF. Shared

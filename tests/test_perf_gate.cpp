@@ -1,0 +1,171 @@
+// The CI performance gate: the JSON-subset parser, dotted/indexed path
+// lookup, and the gate checker itself — including the mandatory proof that
+// a synthetic regressed ledger line actually FAILS the tracked thresholds
+// (a gate that cannot fail guards nothing).
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "core/perf_gate.hpp"
+
+using namespace ehdoe::core;
+
+namespace {
+
+/// The tracked gate spec for t8_remote.jsonl, verbatim from
+/// bench/history/gates.json.
+const char* kT8Gates = R"({
+  "t8_remote.jsonl": {
+    "require_true": ["contract_ok", "hetero.identical"],
+    "require_eq": {"sweep[1].backend": "remote x1"},
+    "min": {"sweep[1].speedup": 0.95}
+  }
+})";
+
+/// A healthy t8 ledger line shaped like the real bench output.
+std::string t8_line(double remote_x1_speedup, bool contract_ok = true,
+                    bool identical = true) {
+    return std::string("{\"bench\": \"t8_remote\", \"contract_ok\": ") +
+           (contract_ok ? "true" : "false") +
+           ", \"sweep\": ["
+           "{\"backend\": \"in-process x1 (reference)\", \"speedup\": 1}, "
+           "{\"backend\": \"remote x1\", \"speedup\": " +
+           std::to_string(remote_x1_speedup) +
+           "}], \"hetero\": {\"identical\": " + (identical ? "true" : "false") + "}}";
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+TEST(JsonParser, ParsesScalarsArraysAndObjects) {
+    const JsonValue v = parse_json(
+        R"({"s": "a\"b", "n": -2.5e2, "b": true, "z": null, "a": [1, 2, 3]})");
+    ASSERT_EQ(v.kind, JsonValue::Kind::Object);
+    EXPECT_EQ(v.find("s")->string, "a\"b");
+    EXPECT_EQ(v.find("n")->number, -250.0);
+    EXPECT_TRUE(v.find("b")->boolean);
+    EXPECT_EQ(v.find("z")->kind, JsonValue::Kind::Null);
+    ASSERT_EQ(v.find("a")->array.size(), 3u);
+    EXPECT_EQ(v.find("a")->array[2].number, 3.0);
+}
+
+TEST(JsonParser, RejectsMalformedInput) {
+    EXPECT_THROW(parse_json("{\"a\": }"), std::runtime_error);
+    EXPECT_THROW(parse_json("{\"a\": 1} trailing"), std::runtime_error);
+    EXPECT_THROW(parse_json("[1, 2"), std::runtime_error);
+    EXPECT_THROW(parse_json("\"unterminated"), std::runtime_error);
+    // Nesting deeper than the stack guard allows.
+    std::string deep;
+    for (int i = 0; i < 100; ++i) deep += "[";
+    EXPECT_THROW(parse_json(deep), std::runtime_error);
+}
+
+TEST(JsonLookup, ResolvesDottedAndIndexedPaths) {
+    const JsonValue v =
+        parse_json(R"({"sweep": [{"speedup": 1.0}, {"speedup": 0.97}], "a": {"b": 7}})");
+    ASSERT_NE(json_lookup(v, "sweep[1].speedup"), nullptr);
+    EXPECT_EQ(json_lookup(v, "sweep[1].speedup")->number, 0.97);
+    EXPECT_EQ(json_lookup(v, "a.b")->number, 7.0);
+    EXPECT_EQ(json_lookup(v, "sweep[2].speedup"), nullptr);
+    EXPECT_EQ(json_lookup(v, "a.missing"), nullptr);
+    EXPECT_EQ(json_lookup(v, "a[0]"), nullptr);  // object indexed as array
+}
+
+// ---------------------------------------------------------------------------
+// Gate checker
+// ---------------------------------------------------------------------------
+TEST(PerfGate, HealthyLedgerPasses) {
+    const JsonValue gates = parse_json(kT8Gates);
+    const GateReport report =
+        check_gates(gates, {{"t8_remote.jsonl", t8_line(0.99)}});
+    EXPECT_TRUE(report.ok()) << (report.violations.empty()
+                                     ? ""
+                                     : report.violations[0].message);
+    EXPECT_EQ(report.checks, 4u);
+}
+
+TEST(PerfGate, RegressedSpeedupFailsTheGate) {
+    // The acceptance case: a synthetic regressed line (remote x1 at half the
+    // in-process throughput) must trip the tracked 0.95 threshold.
+    const JsonValue gates = parse_json(kT8Gates);
+    const GateReport report =
+        check_gates(gates, {{"t8_remote.jsonl", t8_line(0.5)}});
+    ASSERT_FALSE(report.ok());
+    ASSERT_EQ(report.violations.size(), 1u);
+    EXPECT_EQ(report.violations[0].path, "sweep[1].speedup");
+    EXPECT_NE(report.violations[0].message.find("below the gate threshold"),
+              std::string::npos);
+}
+
+TEST(PerfGate, BrokenContractFailsTheGate) {
+    const JsonValue gates = parse_json(kT8Gates);
+    const GateReport broken_contract =
+        check_gates(gates, {{"t8_remote.jsonl", t8_line(0.99, false)}});
+    ASSERT_EQ(broken_contract.violations.size(), 1u);
+    EXPECT_EQ(broken_contract.violations[0].path, "contract_ok");
+
+    const GateReport divergent =
+        check_gates(gates, {{"t8_remote.jsonl", t8_line(0.99, true, false)}});
+    ASSERT_EQ(divergent.violations.size(), 1u);
+    EXPECT_EQ(divergent.violations[0].path, "hetero.identical");
+}
+
+TEST(PerfGate, ReorderedSweepRowIsCaughtByTheAnchor) {
+    // If the bench ever reorders its sweep, the positional speedup path
+    // would silently gate the wrong row — the require_eq anchor catches it.
+    const JsonValue gates = parse_json(kT8Gates);
+    const std::string line =
+        "{\"contract_ok\": true, \"sweep\": ["
+        "{\"backend\": \"remote x1\", \"speedup\": 0.97}, "
+        "{\"backend\": \"in-process x1 (reference)\", \"speedup\": 1}], "
+        "\"hetero\": {\"identical\": true}}";
+    const GateReport report = check_gates(gates, {{"t8_remote.jsonl", line}});
+    ASSERT_FALSE(report.ok());
+    EXPECT_EQ(report.violations[0].path, "sweep[1].backend");
+}
+
+TEST(PerfGate, MissingLedgerIsItselfAViolation) {
+    const JsonValue gates = parse_json(kT8Gates);
+    const GateReport report = check_gates(gates, {});
+    ASSERT_EQ(report.violations.size(), 1u);
+    EXPECT_EQ(report.violations[0].ledger, "t8_remote.jsonl");
+    EXPECT_NE(report.violations[0].message.find("missing"), std::string::npos);
+}
+
+TEST(PerfGate, UnparseableLedgerLineIsAViolation) {
+    const JsonValue gates = parse_json(kT8Gates);
+    const GateReport report =
+        check_gates(gates, {{"t8_remote.jsonl", "not json at all"}});
+    ASSERT_EQ(report.violations.size(), 1u);
+    EXPECT_NE(report.violations[0].message.find("does not parse"),
+              std::string::npos);
+}
+
+TEST(PerfGate, MissingFieldsAreViolations) {
+    const JsonValue gates = parse_json(kT8Gates);
+    const GateReport report =
+        check_gates(gates, {{"t8_remote.jsonl", "{\"bench\": \"t8_remote\"}"}});
+    // All four checks fail: two require_true, the anchor, and the min.
+    EXPECT_EQ(report.violations.size(), 4u);
+}
+
+#ifdef EHDOE_TRACKED_GATES
+// The tracked bench/history/gates.json itself must parse and name only
+// well-formed specs — a bad gate file must never reach CI green.
+TEST(PerfGate, TrackedGateFileParses) {
+    std::ifstream in(EHDOE_TRACKED_GATES);
+    ASSERT_TRUE(in) << "cannot open " << EHDOE_TRACKED_GATES;
+    std::ostringstream text;
+    text << in.rdbuf();
+    const JsonValue gates = parse_json(text.str());
+    ASSERT_EQ(gates.kind, JsonValue::Kind::Object);
+    EXPECT_NE(gates.find("t8_remote.jsonl"), nullptr);
+    EXPECT_NE(gates.find("t9_exec.jsonl"), nullptr);
+}
+#endif

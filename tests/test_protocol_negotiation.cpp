@@ -1,0 +1,254 @@
+// Protocol version negotiation across the v3 -> v4 wire transition: a v3
+// client against a v4 server (and a v4 client against a v3-only server)
+// completes the S1 CCD bitwise identically to in-process evaluation, a
+// mixed-version farm serves both framings in one batch, and hostile or
+// truncated v4 batch headers fail the connection cleanly without taking
+// the server down.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/inprocess_backend.hpp"
+#include "core/scenario.hpp"
+#include "doe/composite.hpp"
+#include "doe/design.hpp"
+#include "net/eval_server.hpp"
+#include "net/remote_backend.hpp"
+#include "net/wire.hpp"
+#include "net_test_utils.hpp"
+
+using namespace ehdoe;
+using namespace ehdoe::net_test;
+using ehdoe::num::Vector;
+
+namespace {
+
+/// The S1 CCD in natural units: the canonical workload every equivalence
+/// test in this suite pushes through the wire.
+std::vector<Vector> s1_ccd_points(const core::Scenario& sc) {
+    const doe::DesignSpace space = sc.design_space();
+    const doe::Design ccd = doe::central_composite(space.dimension());
+    const num::Matrix natural = doe::to_natural(space, ccd);
+    std::vector<Vector> points;
+    points.reserve(natural.rows());
+    for (std::size_t r = 0; r < natural.rows(); ++r) points.push_back(natural.row(r));
+    return points;
+}
+
+std::unique_ptr<net::EvalServer> start_versioned_server(core::Simulation sim,
+                                                        const std::string& fingerprint,
+                                                        std::uint32_t max_version) {
+    net::EvalServerOptions o;
+    o.workers = 2;
+    o.fingerprint = fingerprint;
+    o.max_protocol_version = max_version;
+    auto server = std::make_unique<net::EvalServer>(std::move(sim), o);
+    server->start();
+    return server;
+}
+
+net::RemoteBackendOptions remote_opts(const std::vector<std::string>& endpoints,
+                                      const std::string& fingerprint,
+                                      std::uint32_t protocol_version) {
+    net::RemoteBackendOptions o;
+    for (const std::string& e : endpoints) o.endpoints.push_back(net::parse_endpoint(e));
+    o.fingerprint = fingerprint;
+    o.protocol_version = protocol_version;
+    return o;
+}
+
+/// True when the peer closed: recv() returns 0 (EOF) or a hard error, and
+/// never blocks forever (the fd has a receive timeout armed).
+bool peer_closed(int fd) {
+    timeval tv{};
+    tv.tv_sec = 5;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    char byte = 0;
+    return ::recv(fd, &byte, 1, 0) <= 0;
+}
+
+/// Complete a v4 eval handshake on a raw socket; returns the accepted fd.
+int handshaken_connect(const net::EvalServer& server, const std::string& fingerprint) {
+    const int fd = raw_connect(server.port());
+    net::Hello hello;
+    hello.fingerprint = fingerprint;
+    EXPECT_TRUE(net::write_hello(fd, hello));
+    std::uint64_t status = net::kStatusError;
+    std::string message;
+    EXPECT_TRUE(net::read_welcome(fd, status, message));
+    EXPECT_EQ(status, net::kStatusOk);
+    return fd;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// A pinned-v3 client against a v4 server: the server answers with v3
+// single-point framing and the S1 CCD lands bitwise identical.
+// ---------------------------------------------------------------------------
+TEST(ProtocolNegotiation, V3ClientAgainstV4ServerIsBitwiseIdentical) {
+    const core::Scenario sc = core::Scenario::make(core::ScenarioId::OfficeHvac, 30.0);
+    const std::vector<Vector> points = s1_ccd_points(sc);
+
+    core::InProcessBackend reference(sc.make_simulation(), core::BackendOptions{});
+    const auto base = reference.evaluate(points);
+
+    auto server = start_versioned_server(sc.make_simulation(), sc.fingerprint(),
+                                         net::kProtocolVersion);
+    net::RemoteBackend remote(
+        remote_opts({endpoint_of(*server)}, sc.fingerprint(), net::kMinProtocolVersion));
+    ASSERT_EQ(remote.negotiated_versions(),
+              std::vector<std::uint32_t>{net::kMinProtocolVersion});
+
+    const auto got = remote.evaluate(points);
+    ASSERT_EQ(got.size(), base.size());
+    for (std::size_t i = 0; i < base.size(); ++i) EXPECT_EQ(got[i], base[i]);
+    EXPECT_EQ(server->points_served(), points.size());
+}
+
+// ---------------------------------------------------------------------------
+// An auto-negotiating (v4-leading) client against a v3-only server: the
+// rejection names the version the server speaks, the client re-dials at
+// it, and the batch is still bitwise identical.
+// ---------------------------------------------------------------------------
+TEST(ProtocolNegotiation, V4ClientDowngradesToV3OnlyServer) {
+    const core::Scenario sc = core::Scenario::make(core::ScenarioId::OfficeHvac, 30.0);
+    const std::vector<Vector> points = s1_ccd_points(sc);
+
+    core::InProcessBackend reference(sc.make_simulation(), core::BackendOptions{});
+    const auto base = reference.evaluate(points);
+
+    auto server = start_versioned_server(sc.make_simulation(), sc.fingerprint(),
+                                         net::kMinProtocolVersion);
+    net::RemoteBackend remote(remote_opts({endpoint_of(*server)}, sc.fingerprint(), 0));
+    ASSERT_EQ(remote.negotiated_versions(),
+              std::vector<std::uint32_t>{net::kMinProtocolVersion});
+    // The downgrade cost one rejected dial before the v3 re-dial stuck.
+    EXPECT_EQ(server->handshakes_rejected(), 1u);
+
+    const auto got = remote.evaluate(points);
+    ASSERT_EQ(got.size(), base.size());
+    for (std::size_t i = 0; i < base.size(); ++i) EXPECT_EQ(got[i], base[i]);
+    EXPECT_EQ(server->points_served(), points.size());
+}
+
+// ---------------------------------------------------------------------------
+// A mixed farm — one v4 shard, one v3-only shard — serves one batch with
+// both framings at once, still bitwise identical to in-process.
+// ---------------------------------------------------------------------------
+TEST(ProtocolNegotiation, MixedVersionFarmServesBothFramings) {
+    const core::Scenario sc = core::Scenario::make(core::ScenarioId::OfficeHvac, 30.0);
+    const std::vector<Vector> points = s1_ccd_points(sc);
+
+    core::InProcessBackend reference(sc.make_simulation(), core::BackendOptions{});
+    const auto base = reference.evaluate(points);
+
+    auto s_new = start_versioned_server(sc.make_simulation(), sc.fingerprint(),
+                                        net::kProtocolVersion);
+    auto s_old = start_versioned_server(sc.make_simulation(), sc.fingerprint(),
+                                        net::kMinProtocolVersion);
+    net::RemoteBackend remote(remote_opts({endpoint_of(*s_new), endpoint_of(*s_old)},
+                                          sc.fingerprint(), 0));
+    const std::vector<std::uint32_t> expected{net::kProtocolVersion,
+                                              net::kMinProtocolVersion};
+    ASSERT_EQ(remote.negotiated_versions(), expected);
+
+    const auto got = remote.evaluate(points);
+    ASSERT_EQ(got.size(), base.size());
+    for (std::size_t i = 0; i < base.size(); ++i) EXPECT_EQ(got[i], base[i]);
+    // Both shards took part of the batch.
+    EXPECT_GT(s_new->points_served(), 0u);
+    EXPECT_GT(s_old->points_served(), 0u);
+    EXPECT_EQ(s_new->points_served() + s_old->points_served(), points.size());
+}
+
+TEST(ProtocolNegotiation, PinnedVersionOutsideSupportedRangeThrows) {
+    net::RemoteBackendOptions o =
+        remote_opts({"127.0.0.1:1"}, "fp", net::kMinProtocolVersion - 1);
+    EXPECT_THROW(net::RemoteBackend{o}, std::invalid_argument);
+    o.protocol_version = net::kProtocolVersion + 1;
+    EXPECT_THROW(net::RemoteBackend{o}, std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Batch-frame hardening: hostile v4 headers die before any allocation and
+// never take the server down.
+// ---------------------------------------------------------------------------
+TEST(ProtocolNegotiation, OversizedBatchPointCountDropsConnection) {
+    auto server = start_versioned_server(
+        [](const Vector& nat) { return core::ResponseMap{{"y", nat[0]}}; }, "sim-id",
+        net::kProtocolVersion);
+
+    const int fd = handshaken_connect(*server, "sim-id");
+    // A batch claiming 2^50 points: the sane-limit check must fail the
+    // connection on the count field alone, before the dim even arrives.
+    ASSERT_TRUE(net::write_u64(fd, std::uint64_t{1} << 50));
+    EXPECT_TRUE(peer_closed(fd));
+    ::close(fd);
+    EXPECT_EQ(server->points_served(), 0u);
+
+    // An honest client is still served.
+    net::RemoteBackend remote(remote_opts({endpoint_of(*server)}, "sim-id", 0));
+    const auto got = remote.evaluate({Vector{2.0}, Vector{3.0}});
+    ASSERT_EQ(got.size(), 2u);
+    EXPECT_EQ(got[0].at("y"), 2.0);
+    EXPECT_EQ(server->points_served(), 2u);
+}
+
+TEST(ProtocolNegotiation, OversizedBatchAreaDropsConnection) {
+    auto server = start_versioned_server(
+        [](const Vector& nat) { return core::ResponseMap{{"y", nat[0]}}; }, "sim-id",
+        net::kProtocolVersion);
+
+    const int fd = handshaken_connect(*server, "sim-id");
+    // count and dim each pass the per-field limit, but their product would
+    // demand a gigabyte-scale allocation: the area check fails it first.
+    ASSERT_TRUE(net::write_u64(fd, std::uint64_t{1} << 20));
+    ASSERT_TRUE(net::write_u64(fd, std::uint64_t{1} << 20));
+    EXPECT_TRUE(peer_closed(fd));
+    ::close(fd);
+    EXPECT_EQ(server->points_served(), 0u);
+}
+
+TEST(ProtocolNegotiation, TruncatedMidSubBatchDropsConnection) {
+    auto server = start_versioned_server(
+        [](const Vector& nat) { return core::ResponseMap{{"y", nat[0]}}; }, "sim-id",
+        net::kProtocolVersion);
+
+    const int fd = handshaken_connect(*server, "sim-id");
+    // Claim three 2-dim points, deliver a point and a half, vanish.
+    ASSERT_TRUE(net::write_u64(fd, 3));
+    ASSERT_TRUE(net::write_u64(fd, 2));
+    const double coords[3] = {1.0, 2.0, 3.0};
+    ASSERT_TRUE(net::write_all(fd, coords, sizeof coords));
+    ::shutdown(fd, SHUT_WR);
+    EXPECT_TRUE(peer_closed(fd));
+    ::close(fd);
+    // Nothing of the truncated sub-batch reached the workers.
+    EXPECT_EQ(server->points_served(), 0u);
+    EXPECT_EQ(server->points_failed(), 0u);
+}
+
+TEST(ProtocolNegotiation, StatsRequestAcceptsSupportedVersionRange) {
+    auto server = start_versioned_server(
+        [](const Vector& nat) { return core::ResponseMap{{"y", nat[0]}}; }, "sim-id",
+        net::kProtocolVersion);
+
+    // A previous-version monitor keeps polling a new server.
+    const int fd = raw_connect(server->port());
+    ASSERT_TRUE(net::write_stats_request(fd, net::kMinProtocolVersion));
+    std::uint64_t status = net::kStatusError;
+    net::ShardStats stats;
+    std::string message;
+    ASSERT_TRUE(net::read_stats_reply(fd, status, stats, message));
+    EXPECT_EQ(status, net::kStatusOk);
+    EXPECT_EQ(stats.version, net::kProtocolVersion);
+    ::close(fd);
+    EXPECT_EQ(server->stats_served(), 1u);
+    EXPECT_EQ(server->handshakes_rejected(), 0u);
+}

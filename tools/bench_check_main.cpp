@@ -1,0 +1,100 @@
+// ehdoe-bench-check — the CI performance gate.
+//
+// Reads the freshest line of each bench ledger named in the gate file and
+// fails (exit 1) when any tracked metric regresses below its threshold:
+//
+//   ehdoe-bench-check [--history bench/history] [--gates bench/history/gates.json]
+//
+// The gate file format and check semantics live in core/perf_gate.hpp; the
+// thresholds themselves are a reviewed, tracked file so raising the bar is
+// a code-review diff, not a CI-config edit.
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "core/perf_gate.hpp"
+
+namespace {
+
+void usage(std::ostream& os) {
+    os << "usage: ehdoe-bench-check [--history DIR] [--gates FILE]\n"
+       << "\n"
+       << "  --history DIR  bench ledger directory (default: bench/history)\n"
+       << "  --gates FILE   gate thresholds (default: <history>/gates.json)\n";
+}
+
+/// Last non-empty line of a file, or empty when the file is unreadable.
+std::string last_line(const std::string& path) {
+    std::ifstream in(path);
+    std::string line;
+    std::string last;
+    while (std::getline(in, line)) {
+        if (!line.empty()) last = line;
+    }
+    return last;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::string history = "bench/history";
+    std::string gates_path;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--history" && i + 1 < argc) {
+            history = argv[++i];
+        } else if (arg == "--gates" && i + 1 < argc) {
+            gates_path = argv[++i];
+        } else if (arg == "--help" || arg == "-h") {
+            usage(std::cout);
+            return 0;
+        } else {
+            std::cerr << "ehdoe-bench-check: unknown argument '" << arg << "'\n";
+            usage(std::cerr);
+            return 2;
+        }
+    }
+    if (gates_path.empty()) gates_path = history + "/gates.json";
+
+    std::ifstream gates_in(gates_path);
+    if (!gates_in) {
+        std::cerr << "ehdoe-bench-check: cannot read gate file " << gates_path << "\n";
+        return 2;
+    }
+    std::ostringstream gates_text;
+    gates_text << gates_in.rdbuf();
+
+    ehdoe::core::JsonValue gates;
+    try {
+        gates = ehdoe::core::parse_json(gates_text.str());
+    } catch (const std::exception& e) {
+        std::cerr << "ehdoe-bench-check: " << gates_path << ": " << e.what() << "\n";
+        return 2;
+    }
+
+    std::map<std::string, std::string> ledgers;
+    if (gates.kind == ehdoe::core::JsonValue::Kind::Object) {
+        for (const auto& [ledger, spec] : gates.object) {
+            (void)spec;
+            const std::string line = last_line(history + "/" + ledger);
+            if (!line.empty()) ledgers[ledger] = line;
+        }
+    }
+
+    const ehdoe::core::GateReport report = ehdoe::core::check_gates(gates, ledgers);
+    for (const auto& v : report.violations) {
+        std::cerr << "gate violation: " << v.ledger;
+        if (!v.path.empty()) std::cerr << " :: " << v.path;
+        std::cerr << " — " << v.message << "\n";
+    }
+    if (!report.ok()) {
+        std::cerr << "gate FAILED: " << report.violations.size() << " of "
+                  << report.checks << " checks violated\n";
+        return 1;
+    }
+    std::cout << "gate ok: " << report.checks << " checks against "
+              << ledgers.size() << " ledgers\n";
+    return 0;
+}
