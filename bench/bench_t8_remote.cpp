@@ -30,6 +30,7 @@
 
 #include "core/report.hpp"
 #include "core/scenario.hpp"
+#include "core/telemetry.hpp"
 #include "core/thread_pool.hpp"
 #include "doe/batch_runner.hpp"
 #include "doe/composite.hpp"
@@ -49,7 +50,20 @@ struct SweepPoint {
     std::size_t simulations = 0;
     std::size_t points_served = 0;  ///< summed over the shard servers
     bool identical = false;
+    /// Per-eval latency of this row only (farm-merged histogram delta for
+    /// remote rows, bench-local timing for the in-process reference).
+    core::telemetry::LatencyHistogram latency;
 };
+
+/// "p50/p95/p99 ms" cell of a row's latency distribution.
+std::string latency_cell(const core::telemetry::LatencyHistogram& h) {
+    if (h.total() == 0) return "-";
+    std::ostringstream out;
+    out << format_double(h.percentile_us(50.0) / 1000.0, 1) << "/"
+        << format_double(h.percentile_us(95.0) / 1000.0, 1) << "/"
+        << format_double(h.percentile_us(99.0) / 1000.0, 1);
+    return out.str();
+}
 
 }  // namespace
 
@@ -87,6 +101,11 @@ int main() {
         for (const auto& s : servers) n += s->points_served();
         return n;
     };
+    auto farm_latency = [&] {
+        core::telemetry::LatencyHistogram h;
+        for (const auto& s : servers) h.merge(s->latency_histogram());
+        return h;
+    };
 
     std::vector<SweepPoint> sweep;
     doe::RunResults reference;
@@ -99,7 +118,22 @@ int main() {
             o.cache_fingerprint = fp;
         }
         const std::size_t served_before = served_total();
-        doe::BatchRunner runner(sc.make_simulation(), o);
+        const core::telemetry::LatencyHistogram latency_before = farm_latency();
+        // The reference row has no server-side histogram — time each eval
+        // locally so every row of the ledger carries the same percentiles.
+        auto local_latency = std::make_shared<core::telemetry::LatencyHistogram>();
+        doe::Simulation sim = sc.make_simulation();
+        if (shards == 0) {
+            sim = [inner = std::move(sim), local_latency](const num::Vector& nat) {
+                const auto t0 = std::chrono::steady_clock::now();
+                auto responses = inner(nat);
+                local_latency->record_seconds(
+                    std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                        .count());
+                return responses;
+            };
+        }
+        doe::BatchRunner runner(std::move(sim), o);
         const doe::RunResults r = runner.run_design(space, design);
 
         SweepPoint p;
@@ -109,6 +143,12 @@ int main() {
         p.wall_seconds = r.wall_seconds;
         p.simulations = r.simulations;
         p.points_served = served_total() - served_before;
+        if (shards == 0) {
+            p.latency = *local_latency;
+        } else {
+            p.latency = farm_latency();
+            p.latency.subtract(latency_before);
+        }
         if (sweep.empty()) {
             reference = r;
             p.speedup = 1.0;
@@ -191,7 +231,7 @@ int main() {
 
     Table t("T8: S1 CCD (48 points) across remote shard counts");
     t.headers({"backend", "wall", "speedup", "simulations", "points served",
-               "bitwise identical"});
+               "p50/p95/p99 ms", "bitwise identical"});
     for (const auto& p : sweep) {
         t.row()
             .cell(p.label)
@@ -199,6 +239,7 @@ int main() {
             .cell(p.speedup, 2)
             .cell(p.simulations)
             .cell(p.points_served)
+            .cell(latency_cell(p.latency))
             .cell(p.identical ? "yes" : "NO");
     }
     t.print(std::cout);
@@ -236,7 +277,9 @@ int main() {
         json << (i ? ", " : "") << "{\"backend\": \"" << p.label << "\", \"shards\": " << p.shards
              << ", \"wall_seconds\": " << p.wall_seconds << ", \"speedup\": " << p.speedup
              << ", \"simulations\": " << p.simulations << ", \"points_served\": "
-             << p.points_served << "}";
+             << p.points_served << ", \"latency_p50_us\": " << p.latency.percentile_us(50.0)
+             << ", \"latency_p95_us\": " << p.latency.percentile_us(95.0)
+             << ", \"latency_p99_us\": " << p.latency.percentile_us(99.0) << "}";
     }
     json << "], \"hetero\": {\"slow_handicap_ms\": 10, \"calibrated_pps\": ["
          << measured_pps[0] << ", " << measured_pps[1]

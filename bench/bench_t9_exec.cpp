@@ -11,6 +11,7 @@
 // bench/history/t9_exec.jsonl (see bench/history/README.md); the CI perf
 // gate (ehdoe-bench-check, thresholds in bench/history/gates.json) checks
 // its contract bit on every push.
+#include <chrono>
 #include <ctime>
 #include <iostream>
 #include <memory>
@@ -20,6 +21,7 @@
 
 #include "core/report.hpp"
 #include "core/scenario.hpp"
+#include "core/telemetry.hpp"
 #include "core/thread_pool.hpp"
 #include "doe/batch_runner.hpp"
 #include "doe/composite.hpp"
@@ -65,7 +67,20 @@ struct SweepPoint {
     std::size_t simulations = 0;
     std::size_t launches = 0;  ///< real simulator processes spawned
     bool identical = false;
+    /// Per-eval latency of this row (bench-local timing for the reference,
+    /// ExecRunner's histogram for exec, the server's for exec-over-remote).
+    core::telemetry::LatencyHistogram latency;
 };
+
+/// "p50/p95/p99 ms" cell of a row's latency distribution.
+std::string latency_cell(const core::telemetry::LatencyHistogram& h) {
+    if (h.total() == 0) return "-";
+    std::ostringstream out;
+    out << format_double(h.percentile_us(50.0) / 1000.0, 1) << "/"
+        << format_double(h.percentile_us(95.0) / 1000.0, 1) << "/"
+        << format_double(h.percentile_us(99.0) / 1000.0, 1);
+    return out.str();
+}
 
 }  // namespace
 
@@ -87,12 +102,14 @@ int main() {
     doe::RunResults reference;
     bool contract_ok = true;
     auto record = [&](const std::string& label, const doe::RunResults& r,
-                      std::size_t launches) {
+                      std::size_t launches,
+                      const core::telemetry::LatencyHistogram& latency) {
         SweepPoint p;
         p.label = label;
         p.wall_seconds = r.wall_seconds;
         p.simulations = r.simulations;
         p.launches = launches;
+        p.latency = latency;
         if (sweep.empty()) {
             reference = r;
             p.speedup = 1.0;
@@ -109,10 +126,20 @@ int main() {
         sweep.push_back(p);
     };
 
-    // In-process reference.
+    // In-process reference — timed locally so this row's percentiles are
+    // comparable with the backend-recorded ones below.
     {
-        doe::BatchRunner runner(sc.make_simulation(), doe::RunnerOptions{});
-        record("in-process", runner.run_design(space, design), 0);
+        auto local_latency = std::make_shared<core::telemetry::LatencyHistogram>();
+        doe::Simulation timed = [inner = sc.make_simulation(),
+                                 local_latency](const num::Vector& nat) {
+            const auto t0 = std::chrono::steady_clock::now();
+            auto responses = inner(nat);
+            local_latency->record_seconds(
+                std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count());
+            return responses;
+        };
+        doe::BatchRunner runner(std::move(timed), doe::RunnerOptions{});
+        record("in-process", runner.run_design(space, design), 0, *local_latency);
     }
 
     // Exec backend: each point is a real mock_hdl_sim process.
@@ -120,7 +147,7 @@ int main() {
         auto backend = std::make_shared<exec::ExecBackend>(recipe, BackendOptions{});
         doe::BatchRunner runner(backend);
         const doe::RunResults r = runner.run_design(space, design);
-        record("exec", r, backend->launches());
+        record("exec", r, backend->launches(), backend->latency_histogram());
     }
 
     // Exec-over-remote: a loopback eval-server hosts the recipe; points
@@ -139,8 +166,9 @@ int main() {
         doe::BatchRunner runner(Simulation{}, ro);
         const doe::RunResults r = runner.run_design(space, design);
         const std::size_t served = server.points_served();
+        const core::telemetry::LatencyHistogram server_latency = server.latency_histogram();
         server.stop();
-        record("exec over remote", r, served);
+        record("exec over remote", r, served, server_latency);
         // Exactly-once dispatch across the wire.
         contract_ok = contract_ok && served == r.simulations;
     }
@@ -148,7 +176,7 @@ int main() {
     Table t("T9: S1 CCD (" + std::to_string(design.runs()) +
             " points) through the external co-simulator");
     t.headers({"backend", "wall", "speedup", "simulations", "launches",
-               "bitwise identical"});
+               "p50/p95/p99 ms", "bitwise identical"});
     for (const auto& p : sweep) {
         t.row()
             .cell(p.label)
@@ -156,6 +184,7 @@ int main() {
             .cell(p.speedup, 2)
             .cell(p.simulations)
             .cell(p.launches)
+            .cell(latency_cell(p.latency))
             .cell(p.identical ? "yes" : "NO");
     }
     t.print(std::cout);
@@ -173,7 +202,9 @@ int main() {
         json << (i ? ", " : "") << "{\"backend\": \"" << p.label
              << "\", \"wall_seconds\": " << p.wall_seconds << ", \"speedup\": " << p.speedup
              << ", \"simulations\": " << p.simulations << ", \"launches\": " << p.launches
-             << "}";
+             << ", \"latency_p50_us\": " << p.latency.percentile_us(50.0)
+             << ", \"latency_p95_us\": " << p.latency.percentile_us(95.0)
+             << ", \"latency_p99_us\": " << p.latency.percentile_us(99.0) << "}";
     }
     json << "]}";
     append_history_or_warn("t9_exec.jsonl", json.str(), std::cout);

@@ -322,6 +322,19 @@ GateReport check_gates(const JsonValue& gates,
                 }
             }
         }
+        if (const JsonValue* max = spec.find("max")) {
+            for (const auto& [path, threshold] : max->object) {
+                ++report.checks;
+                const JsonValue* v = json_lookup(entry, path);
+                if (!v || v->kind != JsonValue::Kind::Number) {
+                    violate(ledger, path, "required numeric field is missing");
+                } else if (v->number > threshold.number) {
+                    violate(ledger, path,
+                            std::to_string(v->number) + " is above the gate threshold " +
+                                std::to_string(threshold.number));
+                }
+            }
+        }
     }
     return report;
 }

@@ -18,7 +18,9 @@
 //                  determinism contract bits);
 //   require_eq   — the field must equal the given string/number/bool
 //                  (anchors positional paths to the row they mean);
-//   min          — the field must be a number >= the threshold.
+//   min          — the field must be a number >= the threshold;
+//   max          — the field must be a number <= the threshold (latency
+//                  percentile ceilings and other lower-is-better metrics).
 // A ledger named by the gate file but absent from the history — or a line
 // that fails to parse — is itself a violation: a bench that silently
 // stopped writing its ledger must not pass the gate.

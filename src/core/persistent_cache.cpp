@@ -13,6 +13,8 @@
 #include <stdexcept>
 #include <system_error>
 
+#include "core/telemetry.hpp"
+
 namespace ehdoe::core {
 
 namespace {
@@ -146,6 +148,8 @@ void PersistentCache::load() {
 }
 
 bool PersistentCache::save() const {
+    telemetry::Span span("cache-save", "cache");
+    span.arg("entries", static_cast<std::uint64_t>(table_.size()));
     // Concurrent writers (several flows sharing one snapshot as their
     // result store): fold in whatever a compatible snapshot on disk holds
     // beyond our own table, so the last writer keeps the union rather than
@@ -201,6 +205,8 @@ std::vector<ResponseMap> PersistentCache::evaluate(const std::vector<Vector>& po
     const std::size_t n = points.size();
     std::vector<ResponseMap> out(n);
 
+    telemetry::Span span("cache-evaluate", "cache");
+
     std::vector<Vector> misses;
     std::vector<std::size_t> miss_index;
     for (std::size_t i = 0; i < n; ++i) {
@@ -213,6 +219,9 @@ std::vector<ResponseMap> PersistentCache::evaluate(const std::vector<Vector>& po
             miss_index.push_back(i);
         }
     }
+    span.arg("points", static_cast<std::uint64_t>(n));
+    span.arg("hits", static_cast<std::uint64_t>(n - misses.size()));
+    span.arg("misses", static_cast<std::uint64_t>(misses.size()));
 
     if (!misses.empty()) {
         // A throwing inner backend commits nothing: the table keeps only

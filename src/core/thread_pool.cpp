@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "core/telemetry.hpp"
+
 namespace ehdoe::core {
 
 std::size_t ThreadPool::hardware_threads() {
@@ -56,6 +58,7 @@ void ThreadPool::worker_loop() {
             task = std::move(tasks_.front());
             tasks_.pop();
         }
+        telemetry::Span span("task", "pool");
         task();  // packaged_task captures exceptions into the future
     }
 }

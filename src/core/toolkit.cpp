@@ -27,6 +27,7 @@ DesignFlow::DesignFlow(doe::DesignSpace space, doe::Simulation simulation, Optio
     ro.cache_file = options_.cache_file;
     ro.cache_fingerprint = options_.cache_fingerprint;
     ro.on_batch = options_.on_batch;
+    ro.trace_file = options_.trace_file;
     runner_ = std::make_unique<doe::BatchRunner>(std::move(simulation), std::move(ro));
 }
 

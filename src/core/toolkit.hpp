@@ -93,6 +93,11 @@ public:
         std::string cache_fingerprint;
         /// Per-batch progress callback (throughput reporting).
         std::function<void(const doe::BatchProgress&)> on_batch;
+        /// Non-empty records a Chrome trace-event JSON file of the whole
+        /// flow here (core/telemetry.hpp); merge with per-server traces
+        /// via ehdoe-trace. Strictly observational — results are bitwise
+        /// identical with tracing on or off.
+        std::string trace_file;
         std::uint64_t seed = 2013;
     };
 

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "core/persistent_cache.hpp"
+#include "core/telemetry.hpp"
 #include "exec/exec_backend.hpp"
 #include "net/remote_backend.hpp"
 
@@ -28,6 +29,14 @@ BatchRunner::BatchRunner(Simulation sim, RunnerOptions options)
     if (!sim && options_.endpoints.empty() && options_.recipe_file.empty())
         throw std::invalid_argument("BatchRunner: simulation required");
     if (options_.replicates == 0) throw std::invalid_argument("BatchRunner: replicates >= 1");
+
+    // Tracing must be live before the backend stack is built so
+    // construction-time work (remote handshakes, recipe parsing, cache
+    // loads) lands in the trace too.
+    if (!options_.trace_file.empty()) {
+        core::telemetry::enable();
+        core::telemetry::set_process_label("ehdoe-client");
+    }
 
     // Fold the orchestrator's memo hits of the call in flight into the
     // backend's progress reports (backends only see unique misses).
@@ -93,9 +102,17 @@ BatchRunner::BatchRunner(std::shared_ptr<core::EvalBackend> backend, RunnerOptio
     : options_(std::move(options)), backend_(std::move(backend)) {
     if (!backend_) throw std::invalid_argument("BatchRunner: backend required");
     persistent_ = dynamic_cast<core::PersistentCache*>(backend_.get());
+    if (!options_.trace_file.empty()) {
+        core::telemetry::enable();
+        core::telemetry::set_process_label("ehdoe-client");
+    }
 }
 
-BatchRunner::~BatchRunner() = default;
+BatchRunner::~BatchRunner() {
+    if (!options_.trace_file.empty()) {
+        core::telemetry::write_json(options_.trace_file);
+    }
+}
 
 std::size_t BatchRunner::threads() const { return backend_->concurrency(); }
 
@@ -115,6 +132,8 @@ std::vector<ResponseMap> BatchRunner::evaluate_rows(const std::vector<Vector>& r
     const std::size_t n = rows.size();
     std::vector<ResponseMap> out(n);
 
+    core::telemetry::Span batch_span("batch", "runner");
+
     // Phase 1: resolve every row to either a memoized result or a slot in
     // the pending work list. Duplicates within the call collapse onto one
     // slot, so centre replicates cost one simulation even on a cold cache.
@@ -122,31 +141,39 @@ std::vector<ResponseMap> BatchRunner::evaluate_rows(const std::vector<Vector>& r
     // Row -> (pending slot) or (direct result already placed in `out`).
     constexpr std::size_t kResolved = static_cast<std::size_t>(-1);
     std::vector<std::size_t> slot_of(n, kResolved);
-    std::map<std::vector<double>, std::size_t> seen;  // key -> pending slot
     call_hits_ = 0;
 
-    for (std::size_t i = 0; i < n; ++i) {
-        const Vector& point = rows[i];
-        if (!options_.memoize) {
+    {
+        core::telemetry::Span dedup_span("dedup", "runner");
+        std::map<std::vector<double>, std::size_t> seen;  // key -> pending slot
+        for (std::size_t i = 0; i < n; ++i) {
+            const Vector& point = rows[i];
+            if (!options_.memoize) {
+                slot_of[i] = pending.size();
+                pending.push_back(point);
+                continue;
+            }
+            std::vector<double> key = cache_key(point);
+            if (const auto hit = cache_.find(key); hit != cache_.end()) {
+                out[i] = hit->second;
+                ++call_hits_;
+                continue;
+            }
+            if (const auto dup = seen.find(key); dup != seen.end()) {
+                slot_of[i] = dup->second;
+                ++call_hits_;
+                continue;
+            }
+            seen.emplace(std::move(key), pending.size());
             slot_of[i] = pending.size();
             pending.push_back(point);
-            continue;
         }
-        std::vector<double> key = cache_key(point);
-        if (const auto hit = cache_.find(key); hit != cache_.end()) {
-            out[i] = hit->second;
-            ++call_hits_;
-            continue;
-        }
-        if (const auto dup = seen.find(key); dup != seen.end()) {
-            slot_of[i] = dup->second;
-            ++call_hits_;
-            continue;
-        }
-        seen.emplace(std::move(key), pending.size());
-        slot_of[i] = pending.size();
-        pending.push_back(point);
+        dedup_span.arg("rows", static_cast<std::uint64_t>(n));
+        dedup_span.arg("pending", static_cast<std::uint64_t>(pending.size()));
+        dedup_span.arg("memo_hits", static_cast<std::uint64_t>(call_hits_));
     }
+    batch_span.arg("rows", static_cast<std::uint64_t>(n));
+    batch_span.arg("pending", static_cast<std::uint64_t>(pending.size()));
 
     // Phase 2: hand the unique misses to the backend. Its lifetime ledgers
     // (simulations actually run, backend-level cache hits, batches) are read
@@ -175,13 +202,16 @@ std::vector<ResponseMap> BatchRunner::evaluate_rows(const std::vector<Vector>& r
     account();
 
     // Phase 3: commit to the memo table and scatter into design order.
-    if (options_.memoize) {
-        for (std::size_t s = 0; s < pending.size(); ++s) {
-            cache_[cache_key(pending[s])] = fresh[s];
+    {
+        core::telemetry::Span commit_span("memo-commit", "runner");
+        if (options_.memoize) {
+            for (std::size_t s = 0; s < pending.size(); ++s) {
+                cache_[cache_key(pending[s])] = fresh[s];
+            }
         }
-    }
-    for (std::size_t i = 0; i < n; ++i) {
-        if (slot_of[i] != kResolved) out[i] = fresh[slot_of[i]];
+        for (std::size_t i = 0; i < n; ++i) {
+            if (slot_of[i] != kResolved) out[i] = fresh[slot_of[i]];
+        }
     }
     return out;
 }

@@ -100,6 +100,11 @@ struct RunnerOptions {
     std::string cache_fingerprint;
     /// Invoked after every completed batch (from worker threads, serialized).
     std::function<void(const BatchProgress&)> on_batch;
+    /// Non-empty enables trace recording (core/telemetry.hpp) for the
+    /// runner's lifetime and writes a Chrome trace-event JSON file here on
+    /// destruction. Strictly observational: results are bitwise identical
+    /// with tracing on or off. Merge with per-server traces via ehdoe-trace.
+    std::string trace_file;
 };
 
 /// Run `sim` at every point of `design` mapped through `space`.

@@ -71,6 +71,11 @@ public:
     std::size_t timeouts() const { return runner_.timeouts(); }
     /// Relaunches after nonzero exits/crashes (the respawn analogue).
     std::size_t relaunches() const { return runner_.relaunches(); }
+    /// Snapshot of the runner's per-point wall-time histogram
+    /// (microseconds; see ExecRunner::latency_histogram).
+    core::telemetry::LatencyHistogram latency_histogram() const {
+        return runner_.latency_histogram();
+    }
 
 private:
     core::BackendOptions options_;

@@ -111,7 +111,27 @@ ExecRunner::~ExecRunner() {
     fs::remove(scratch_root_, ec);
 }
 
+core::telemetry::LatencyHistogram ExecRunner::latency_histogram() const {
+    std::lock_guard<std::mutex> lock(latency_mutex_);
+    return latency_;
+}
+
 ExecOutcome ExecRunner::run_point(const Vector& natural, std::size_t index) {
+    core::telemetry::Span span("run-point", "exec");
+    span.arg("index", static_cast<std::uint64_t>(index));
+    // The histogram bills the full per-point cost — replicates, retries and
+    // parsing included — matching what the calling backend waited for.
+    const std::uint64_t point_start = core::telemetry::now_us();
+    struct LatencyProbe {
+        ExecRunner& runner;
+        std::uint64_t start;
+        ~LatencyProbe() {
+            const std::uint64_t end = core::telemetry::now_us();
+            std::lock_guard<std::mutex> lock(runner.latency_mutex_);
+            runner.latency_.record_us(end - start);
+        }
+    } probe{*this, point_start};
+
     ExecOutcome outcome;
     core::ResponseMap acc;
     try {
@@ -151,6 +171,7 @@ ExecOutcome ExecRunner::run_point(const Vector& natural, std::size_t index) {
                 }
                 if (run.timed_out) {
                     timeouts_.fetch_add(1);
+                    core::telemetry::instant("timeout", "exec");
                     outcome.timed_out = true;
                     outcome.error = "ExecRunner: simulator timed out after " +
                                     std::to_string(recipe_.timeout_seconds) +
@@ -163,6 +184,7 @@ ExecOutcome ExecRunner::run_point(const Vector& natural, std::size_t index) {
                     const std::string stderr_tail = tail_of(workdir + "/stderr.txt");
                     if (attempt < recipe_.retries) {
                         relaunches_.fetch_add(1);
+                        core::telemetry::instant("retry", "exec");
                         cleanup();
                         continue;  // bounded retry on a crashed/failed launch
                     }
@@ -202,6 +224,10 @@ ExecOutcome ExecRunner::run_point(const Vector& natural, std::size_t index) {
 
 ExecRunner::LaunchResult ExecRunner::launch_once(const Vector& natural, std::size_t index,
                                                  const std::string& workdir) {
+    // One span per simulator process: deck render + fork/exec + the wait
+    // (or timeout kill) — the unit a trace viewer should see per launch.
+    core::telemetry::Span span("launch", "exec");
+    span.arg("index", static_cast<std::uint64_t>(index));
     LaunchResult run;
     const std::string deck_path = (fs::path(workdir) / recipe_.deck_file).string();
 
@@ -301,6 +327,9 @@ ExecRunner::LaunchResult ExecRunner::launch_once(const Vector& natural, std::siz
     ::close(err_fd);
     launches_.fetch_add(1);
 
+    // The wait dominates a launch's wall time; a separate span makes the
+    // fork/exec overhead vs. simulator runtime split visible in the trace.
+    core::telemetry::Span wait_span("wait", "exec");
     int status = 0;
     bool reaped = false;
     if (recipe_.timeout_seconds <= 0.0) {

@@ -26,11 +26,13 @@
 
 #include <atomic>
 #include <cstddef>
+#include <mutex>
 #include <regex>
 #include <string>
 #include <vector>
 
 #include "core/eval_backend.hpp"
+#include "core/telemetry.hpp"
 #include "exec/sim_recipe.hpp"
 
 namespace ehdoe::exec {
@@ -74,6 +76,11 @@ public:
     /// of a worker respawn; bounded per point by the recipe's retries).
     std::size_t relaunches() const { return relaunches_.load(); }
 
+    /// Snapshot of the lifetime per-point wall-time histogram
+    /// (microseconds, retries and replicates included — the cost the
+    /// caller actually paid per point).
+    core::telemetry::LatencyHistogram latency_histogram() const;
+
 private:
     struct LaunchResult {
         bool launched = false;   ///< fork/exec machinery itself worked
@@ -104,6 +111,9 @@ private:
     std::atomic<std::size_t> launches_{0};
     std::atomic<std::size_t> timeouts_{0};
     std::atomic<std::size_t> relaunches_{0};
+    /// Per-point wall times; recorded by concurrent run_point() callers.
+    mutable std::mutex latency_mutex_;
+    core::telemetry::LatencyHistogram latency_;
 };
 
 }  // namespace ehdoe::exec

@@ -18,6 +18,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/telemetry.hpp"
 #include "core/thread_pool.hpp"
 #include "exec/exec_runner.hpp"
 
@@ -158,7 +159,6 @@ struct EvalServer::PendingFrame {
     std::vector<EvalResult> results;
     std::atomic<std::size_t> remaining{0};
     std::uint64_t conn_id = 0;
-    bool batch = false;  ///< v4 batch-result framing vs one v3 result frame
 };
 
 struct EvalServer::ConnState {
@@ -290,6 +290,11 @@ std::size_t EvalServer::points_timed_out() const {
     return exec_runner_ ? exec_runner_->timeouts() : 0;
 }
 
+core::telemetry::LatencyHistogram EvalServer::latency_histogram() const {
+    std::lock_guard<std::mutex> lock(latency_mutex_);
+    return latency_;
+}
+
 ShardStats EvalServer::stats() const {
     ShardStats s;
     s.version = kProtocolVersion;
@@ -305,6 +310,11 @@ ShardStats EvalServer::stats() const {
             ? 0.0
             : std::chrono::duration<double>(std::chrono::steady_clock::now() - started_at_)
                   .count();
+    const core::telemetry::LatencyHistogram hist = latency_histogram();
+    s.latency_buckets = hist.sparse();
+    s.latency_p50_us = hist.percentile_us(50.0);
+    s.latency_p95_us = hist.percentile_us(95.0);
+    s.latency_p99_us = hist.percentile_us(99.0);
     return s;
 }
 
@@ -349,6 +359,21 @@ EvalResult EvalServer::evaluate_one(const Vector& point) {
         ~InFlight() { n.fetch_sub(1); }
     } occupancy(in_flight_);
 
+    // Wall time per point feeds the lifetime latency histogram the v5
+    // stats reply serves (always on — monitoring state, like the
+    // counters); the span only records when tracing is enabled.
+    core::telemetry::Span span("eval", "server");
+    const std::uint64_t eval_start = core::telemetry::now_us();
+    struct LatencyProbe {
+        EvalServer& server;
+        std::uint64_t start;
+        ~LatencyProbe() {
+            const std::uint64_t end = core::telemetry::now_us();
+            std::lock_guard<std::mutex> lock(server.latency_mutex_);
+            server.latency_.record_us(end > start ? end - start : 0);
+        }
+    } probe{*this, eval_start};
+
     if (exec_runner_) {
         exec::ExecOutcome outcome =
             exec_runner_->run_point(point, exec_seq_.fetch_add(1));
@@ -385,7 +410,6 @@ void EvalServer::dispatch_frame(ConnState& conn, std::vector<Vector> points) {
     frame->results.resize(points.size());
     frame->remaining.store(points.size(), std::memory_order_relaxed);
     frame->conn_id = conn.id;
-    frame->batch = conn.version >= 4;
     conn.fifo.push_back(frame);
     for (std::size_t j = 0; j < points.size(); ++j) {
         pool_->submit([this, frame, j, point = std::move(points[j])] {
@@ -428,7 +452,11 @@ bool EvalServer::process_hello(ConnState& conn, const Hello& hello) {
         conn.close_after_flush = true;
         return true;
     }
-    encode_welcome(conn.out, kStatusOk, "");
+    // The v5 welcome carries a sample of this process's telemetry clock,
+    // taken here at encode time — the anchor ehdoe-trace uses to shift
+    // this server's trace onto the client's timeline.
+    encode_welcome(conn.out, kStatusOk, "", hello.version, core::telemetry::now_us());
+    core::telemetry::instant("handshake", "server");
     conn.version = hello.version;
     conn.phase = ConnState::Phase::Eval;  // lifts the pre-handshake deadline
     return true;
@@ -443,7 +471,9 @@ void EvalServer::process_stats_request(ConnState& conn, std::uint32_t version) {
                                std::to_string(version));
     } else {
         stats_served_.fetch_add(1);
-        encode_stats_reply(conn.out, kStatusOk, stats(), "");
+        // The reply takes the shape of the *requested* version: a v4
+        // monitor polling this server keeps parsing through the rollout.
+        encode_stats_reply(conn.out, kStatusOk, stats(), "", version);
     }
     conn.phase = ConnState::Phase::Drain;
     conn.close_after_flush = true;
@@ -517,49 +547,34 @@ bool EvalServer::parse_input(ConnState& conn) {
                 break;
             }
             case ConnState::Phase::Eval: {
-                if (conn.version >= 4) {
-                    // batch request := u64 count, u64 dim, count*dim x f64.
-                    // Each length validates the moment its bytes arrive, so
-                    // a hostile header dies before the peer sends (or we
-                    // buffer) another byte.
-                    if (available() < 8) break;
-                    const std::uint64_t count = peek_u64(0);
-                    if (count == 0 || count > kSaneLimit) {
-                        ok = false;  // corrupt or hostile framing
-                        break;
-                    }
-                    if (available() < 16) break;
-                    const std::uint64_t dim = peek_u64(8);
-                    if (dim > kSaneLimit || count * dim > kSaneLimit) {
-                        ok = false;
-                        break;
-                    }
-                    const std::size_t body = static_cast<std::size_t>(count * dim) * 8;
-                    if (available() < 16 + body) break;
-                    std::vector<Vector> pts(static_cast<std::size_t>(count),
-                                            Vector(static_cast<std::size_t>(dim)));
-                    const unsigned char* src = conn.in.data() + conn.in_pos + 16;
-                    for (Vector& p : pts) {
-                        std::memcpy(p.data(), src, sizeof(double) * p.size());
-                        src += sizeof(double) * p.size();
-                    }
-                    conn.in_pos += 16 + body;
-                    dispatch_frame(conn, std::move(pts));
-                } else {
-                    // v3 request := u64 dim, dim x f64 — one point per frame.
-                    if (available() < 8) break;
-                    const std::uint64_t dim = peek_u64(0);
-                    if (dim > kSaneLimit) {
-                        ok = false;
-                        break;
-                    }
-                    const std::size_t body = static_cast<std::size_t>(dim) * 8;
-                    if (available() < 8 + body) break;
-                    std::vector<Vector> pts(1, Vector(static_cast<std::size_t>(dim)));
-                    std::memcpy(pts[0].data(), conn.in.data() + conn.in_pos + 8, body);
-                    conn.in_pos += 8 + body;
-                    dispatch_frame(conn, std::move(pts));
+                // batch request := u64 count, u64 dim, count*dim x f64 (the
+                // only eval framing since v4 became the floor). Each length
+                // validates the moment its bytes arrive, so a hostile
+                // header dies before the peer sends (or we buffer) another
+                // byte.
+                if (available() < 8) break;
+                const std::uint64_t count = peek_u64(0);
+                if (count == 0 || count > kSaneLimit) {
+                    ok = false;  // corrupt or hostile framing
+                    break;
                 }
+                if (available() < 16) break;
+                const std::uint64_t dim = peek_u64(8);
+                if (dim > kSaneLimit || count * dim > kSaneLimit) {
+                    ok = false;
+                    break;
+                }
+                const std::size_t body = static_cast<std::size_t>(count * dim) * 8;
+                if (available() < 16 + body) break;
+                std::vector<Vector> pts(static_cast<std::size_t>(count),
+                                        Vector(static_cast<std::size_t>(dim)));
+                const unsigned char* src = conn.in.data() + conn.in_pos + 16;
+                for (Vector& p : pts) {
+                    std::memcpy(p.data(), src, sizeof(double) * p.size());
+                    src += sizeof(double) * p.size();
+                }
+                conn.in_pos += 16 + body;
+                dispatch_frame(conn, std::move(pts));
                 progress = true;
                 break;
             }
@@ -613,11 +628,7 @@ void EvalServer::flush_ready_frames(ConnState& conn) {
            conn.fifo.front()->remaining.load(std::memory_order_acquire) == 0) {
         const std::shared_ptr<PendingFrame> frame = conn.fifo.front();
         conn.fifo.pop_front();
-        if (frame->batch) {
-            encode_batch_result(conn.out, frame->results);
-        } else {
-            encode_result(conn.out, frame->results[0]);
-        }
+        encode_batch_result(conn.out, frame->results);
     }
 }
 
@@ -684,6 +695,7 @@ void EvalServer::handle_accept() {
         ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
         register_parent_fd(fd);
         connections_.fetch_add(1);
+        core::telemetry::instant("accept", "server");
 
         auto conn = std::make_unique<ConnState>();
         conn->fd = fd;

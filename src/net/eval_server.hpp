@@ -21,11 +21,17 @@
 //
 // Requests pipeline: a client may keep several frames in flight per
 // connection; responses come back in request order (FIFO per connection).
-// A protocol-v4 connection moves whole sub-batches per frame; a v3
-// connection (kMinProtocolVersion) is served with single-point frames off
-// the same loop — the handshake's version picks the framing. Points from
-// one frame — and from concurrent connections — evaluate in parallel up to
-// the configured worker count.
+// Every supported version (v4+) moves whole sub-batches per frame; the
+// handshake's version picks the *reply shapes* (a v5 welcome carries the
+// server clock sample, a v5 stats reply the latency histogram). Points
+// from one frame — and from concurrent connections — evaluate in parallel
+// up to the configured worker count.
+//
+// Observability: every evaluated point's wall time feeds a lifetime
+// latency histogram (core/telemetry.hpp) served in the v5 stats reply;
+// with tracing enabled the accept/handshake/eval path records spans.
+// Both are strictly observational — results are bitwise identical either
+// way.
 //
 // A simulation that throws answers *that* point with an error frame; the
 // connection (and the server) stays up. With subprocess workers, a worker
@@ -52,6 +58,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/telemetry.hpp"
 #include "exec/sim_recipe.hpp"
 #include "net/wire.hpp"
 
@@ -135,6 +142,10 @@ public:
     /// Stats connections answered (monitoring traffic, not eval traffic).
     std::size_t stats_served() const { return stats_served_.load(); }
 
+    /// Snapshot of this server's lifetime eval-latency histogram (wall
+    /// time per point, microseconds) — what the v5 stats reply carries.
+    core::telemetry::LatencyHistogram latency_histogram() const;
+
     /// Snapshot of the counters in stats-frame shape — the exact payload a
     /// stats connection is answered with.
     ShardStats stats() const;
@@ -198,6 +209,11 @@ private:
     std::atomic<std::size_t> in_flight_{0};
     std::atomic<std::size_t> exec_seq_{0};
     std::chrono::steady_clock::time_point started_at_{};
+
+    /// Per-point eval wall times; recorded by worker tasks, snapshotted by
+    /// the stats path — hence the guard.
+    mutable std::mutex latency_mutex_;
+    core::telemetry::LatencyHistogram latency_;
 };
 
 }  // namespace ehdoe::net

@@ -16,6 +16,8 @@
 #include <thread>
 #include <utility>
 
+#include "core/telemetry.hpp"
+
 namespace ehdoe::net {
 
 Endpoint parse_endpoint(const std::string& spec) {
@@ -113,6 +115,7 @@ NegotiatedConn connect_endpoint(const Endpoint& endpoint, const RemoteBackendOpt
     std::uint32_t version =
         options.protocol_version == 0 ? kProtocolVersion : options.protocol_version;
     for (;;) {
+        core::telemetry::Span span("handshake", "net");
         const int fd = connect_tcp(endpoint, kSideChannelTimeoutSeconds);
 
         Hello hello;
@@ -121,7 +124,9 @@ NegotiatedConn connect_endpoint(const Endpoint& endpoint, const RemoteBackendOpt
         hello.replicates = options.replicates;
         std::uint64_t status = kStatusError;
         std::string message;
-        if (!write_hello(fd, hello) || !read_welcome(fd, status, message)) {
+        std::uint64_t server_now_us = 0;
+        if (!write_hello(fd, hello) ||
+            !read_welcome(fd, status, message, version, &server_now_us)) {
             ::close(fd);
             throw std::runtime_error("RemoteBackend: handshake with " +
                                      endpoint_label(endpoint) +
@@ -133,6 +138,17 @@ NegotiatedConn connect_endpoint(const Endpoint& endpoint, const RemoteBackendOpt
             timeval unbounded{};
             ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &unbounded, sizeof unbounded);
             ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &unbounded, sizeof unbounded);
+            // The v5 welcome carried the server's clock: the offset between
+            // the two monotonic clocks, sampled one loopback/network hop
+            // apart, is what ehdoe-trace uses to merge this server's trace
+            // onto the client timeline.
+            span.arg("endpoint", endpoint_label(endpoint));
+            span.arg("version", static_cast<std::uint64_t>(version));
+            if (version >= 5) {
+                span.arg("offset_us",
+                         static_cast<std::int64_t>(core::telemetry::now_us()) -
+                             static_cast<std::int64_t>(server_now_us));
+            }
             return {fd, version};
         }
         ::close(fd);
@@ -178,35 +194,47 @@ std::vector<std::size_t> weighted_assignment(std::size_t n, const std::vector<do
 bool query_shard_stats(const Endpoint& endpoint, ShardStats& stats, std::string& error) {
     stats = ShardStats{};
     error.clear();
-    int fd = -1;
-    try {
-        // A monitoring poll must never hang on a wedged or SYN-dropping
-        // server: connect and both I/O directions are time-bounded.
-        fd = connect_tcp(endpoint, kSideChannelTimeoutSeconds);
-    } catch (const std::exception& e) {
-        error = e.what();
-        return false;
-    }
-    bool ok = false;
-    std::uint64_t status = kStatusError;
-    std::string message;
-    if (!write_stats_request(fd) || !read_stats_reply(fd, status, stats, message)) {
-        error = "stats query to " + endpoint_label(endpoint) +
-                " failed (connection dropped mid-frame)";
-    } else if (status != kStatusOk) {
+    // Lead with the newest stats shape; when an older server names the
+    // version it speaks in its refusal, re-dial once at that version (the
+    // same negotiation pattern the eval handshake follows), so one monitor
+    // binary polls a mixed-version farm.
+    std::uint32_t version = kProtocolVersion;
+    for (;;) {
+        int fd = -1;
+        try {
+            // A monitoring poll must never hang on a wedged or SYN-dropping
+            // server: connect and both I/O directions are time-bounded.
+            fd = connect_tcp(endpoint, kSideChannelTimeoutSeconds);
+        } catch (const std::exception& e) {
+            error = e.what();
+            return false;
+        }
+        std::uint64_t status = kStatusError;
+        std::string message;
+        if (!write_stats_request(fd, version) ||
+            !read_stats_reply(fd, status, stats, message, version)) {
+            error = "stats query to " + endpoint_label(endpoint) +
+                    " failed (connection dropped mid-frame)";
+            ::close(fd);
+            return false;
+        }
+        ::close(fd);
+        if (status == kStatusOk) return true;
+        std::uint32_t server_version = 0;
+        if (parse_server_speaks(message, server_version) &&
+            server_version >= kMinProtocolVersion && server_version < version) {
+            version = server_version;
+            continue;
+        }
         error = "endpoint " + endpoint_label(endpoint) + " rejected the stats request: " +
                 message;
-    } else {
-        ok = true;
+        return false;
     }
-    ::close(fd);
-    return ok;
 }
 
 /// One persistent shard connection plus its per-batch dispatch state. The
 /// dispatch unit is a *frame* — an ordered list of point indices that
-/// travels as one wire frame: a v4 connection gets its whole sub-batch as
-/// one frame, a v3 connection one single-point frame per point.
+/// travels as one wire frame carrying the shard's whole sub-batch.
 struct RemoteBackend::Conn {
     Endpoint endpoint;
     std::size_t slot = 0;  ///< index into options().endpoints
@@ -311,6 +339,7 @@ void RemoteBackend::maybe_redial() {
             continue;
         c->last_redial = now;
         ++redials_;
+        core::telemetry::instant("redial", "net", "endpoint", endpoint_label(c->endpoint));
         try {
             // Full reconnect + re-handshake: a restarted server must prove
             // it still speaks a compatible protocol/fingerprint/replicates
@@ -437,15 +466,10 @@ std::vector<core::ResponseMap> RemoteBackend::evaluate(const std::vector<Vector>
         sub_batch[assignment[i]].push_back(i);
         last_assignment_[i] = live[assignment[i]]->slot;
     }
-    // Frame up each shard's sub-batch to match its negotiated framing: one
-    // batch frame on v4, one single-point frame per point on v3.
+    // Frame up each shard's sub-batch: one batch frame per shard.
     for (std::size_t k = 0; k < live.size(); ++k) {
         if (sub_batch[k].empty()) continue;
-        if (live[k]->version >= 4) {
-            live[k]->to_send.push_back(std::move(sub_batch[k]));
-        } else {
-            for (const std::size_t idx : sub_batch[k]) live[k]->to_send.push_back({idx});
-        }
+        live[k]->to_send.push_back(std::move(sub_batch[k]));
     }
 
     // Shared batch state. `unresolved` counts points without a recorded
@@ -543,12 +567,7 @@ std::vector<core::ResponseMap> RemoteBackend::evaluate(const std::vector<Vector>
             }
             for (std::size_t k = 0; k < survivors.size(); ++k) {
                 if (share[k].empty()) continue;
-                if (survivors[k]->version >= 4) {
-                    survivors[k]->to_send.push_back(std::move(share[k]));
-                } else {
-                    for (const std::size_t idx : share[k])
-                        survivors[k]->to_send.push_back({idx});
-                }
+                survivors[k]->to_send.push_back(std::move(share[k]));
             }
         }
         cv.notify_all();
@@ -573,9 +592,13 @@ std::vector<core::ResponseMap> RemoteBackend::evaluate(const std::vector<Vector>
             }
             // The write happens on the local `frame` copy: on_conn_dead may
             // clear the in_flight deque concurrently.
-            const bool write_ok = c.version >= 4
-                                      ? write_batch_request(c.fd, points, frame, c.scratch)
-                                      : write_request(c.fd, points[frame.front()]);
+            bool write_ok;
+            {
+                core::telemetry::Span span("dispatch", "net");
+                span.arg("endpoint", endpoint_label(c.endpoint));
+                span.arg("points", static_cast<std::uint64_t>(frame.size()));
+                write_ok = write_batch_request(c.fd, points, frame, c.scratch);
+            }
             if (!write_ok) {
                 on_conn_dead(c);
                 return;
@@ -598,13 +621,16 @@ std::vector<core::ResponseMap> RemoteBackend::evaluate(const std::vector<Vector>
                 expected = c.in_flight.front().size();
             }
             bool io_ok;
-            if (c.version >= 4) {
+            {
+                // The receive span covers wait + transfer: most of it is
+                // the shard computing, which is exactly what a slow-batch
+                // trace needs to show.
+                core::telemetry::Span span("receive", "net");
+                span.arg("endpoint", endpoint_label(c.endpoint));
+                span.arg("points", static_cast<std::uint64_t>(expected));
                 // A result frame owes exactly the points its request frame
                 // carried; any other count is a broken peer.
                 io_ok = read_batch_result(c.fd, expected, results);
-            } else {
-                results.assign(1, EvalResult{});
-                io_ok = read_result(c.fd, results[0]);
             }
             if (!io_ok) {
                 on_conn_dead(c);

@@ -19,14 +19,14 @@
 //    farms can pin explicit per-endpoint weights (operator-measured
 //    throughput) instead of the recorded ledger.
 //
-//  * Batched frames — a protocol-v4 connection ships its whole sub-batch
-//    as one request frame and receives one result frame back
-//    (scatter/gather through a reused scratch buffer), so the per-point
-//    syscall pair and round-trip of the v3 framing collapse to one per
-//    sub-batch. Each endpoint negotiates its version at handshake: the
-//    client leads with the newest protocol and re-dials at the version an
-//    older server names in its rejection, so a mixed-version farm keeps
-//    serving while it rolls forward.
+//  * Batched frames — every connection ships its whole sub-batch as one
+//    request frame and receives one result frame back (scatter/gather
+//    through a reused scratch buffer), so the per-point syscall pair and
+//    round-trip collapse to one per sub-batch. Each endpoint negotiates
+//    its version at handshake: the client leads with the newest protocol
+//    and re-dials at the version an older server names in its rejection,
+//    so a mixed-version farm (v4/v5 reply shapes) keeps serving while it
+//    rolls forward.
 //
 //  * Pipelined connections — each endpoint keeps up to `pipeline` frames
 //    in flight (responses return in FIFO order), hiding the network
@@ -126,13 +126,12 @@ struct RemoteBackendOptions {
     std::string fingerprint;
     /// Replicates the servers are expected to average (handshake-checked).
     std::size_t replicates = 1;
-    /// Max frames in flight per connection (a frame is a whole sub-batch on
-    /// a v4 connection, one point on a v3 connection).
+    /// Max frames in flight per connection (a frame is a whole sub-batch).
     std::size_t pipeline = 4;
     /// Wire protocol version to speak: 0 auto-negotiates (lead with
     /// kProtocolVersion, re-dial at the version a rejecting server names),
-    /// or pin a version in [kMinProtocolVersion, kProtocolVersion] — e.g. 3
-    /// to force single-point framing against a mixed farm.
+    /// or pin a version in [kMinProtocolVersion, kProtocolVersion] — e.g. 4
+    /// to emulate a previous-cycle client against a mixed farm.
     std::uint32_t protocol_version = 0;
     /// Assignment policy; Weighted unless benchmarking against Modulo.
     ShardingPolicy sharding = ShardingPolicy::Weighted;
@@ -167,8 +166,8 @@ public:
     std::size_t concurrency() const override { return live_endpoints(); }
     /// Client-side view: completed points x replicates.
     std::size_t simulations() const override { return simulations_; }
-    /// Wire frames dispatched — one per sub-batch on v4 connections, one
-    /// per point on v3 — including failover re-dispatch.
+    /// Wire frames dispatched — one per sub-batch, including failover
+    /// re-dispatch.
     std::size_t batches() const override { return batches_; }
 
     std::size_t live_endpoints() const;

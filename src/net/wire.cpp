@@ -228,23 +228,37 @@ bool read_hello_body(int fd, Hello& hello) {
 }
 
 void encode_welcome(std::vector<unsigned char>& out, std::uint64_t status,
-                    const std::string& message) {
+                    const std::string& message, std::uint32_t version,
+                    std::uint64_t server_now_us) {
     append_u64(out, status);
-    if (status == kStatusOk) return;
+    if (status == kStatusOk) {
+        if (version >= 5) append_u64(out, server_now_us);
+        return;
+    }
     append_u64(out, message.size());
     append_bytes(out, message.data(), message.size());
 }
 
-bool write_welcome(int fd, std::uint64_t status, const std::string& message) {
+bool write_welcome(int fd, std::uint64_t status, const std::string& message,
+                   std::uint32_t version, std::uint64_t server_now_us) {
     if (!write_u64(fd, status)) return false;
-    if (status == kStatusOk) return true;
+    if (status == kStatusOk) {
+        return version >= 5 ? write_u64(fd, server_now_us) : true;
+    }
     return write_u64(fd, message.size()) && write_all(fd, message.data(), message.size());
 }
 
-bool read_welcome(int fd, std::uint64_t& status, std::string& message) {
+bool read_welcome(int fd, std::uint64_t& status, std::string& message, std::uint32_t version,
+                  std::uint64_t* server_now_us) {
     message.clear();
     if (!read_u64(fd, status)) return false;
-    if (status == kStatusOk) return true;
+    if (status == kStatusOk) {
+        if (version < 5) return true;
+        std::uint64_t ts = 0;
+        if (!read_u64(fd, ts)) return false;
+        if (server_now_us) *server_now_us = ts;
+        return true;
+    }
     std::uint64_t len = 0;
     if (!read_u64(fd, len) || len > kSaneLimit) return false;
     message.assign(static_cast<std::size_t>(len), '\0');
@@ -284,7 +298,8 @@ bool read_stats_request_body(int fd, std::uint32_t& version) {
 }
 
 void encode_stats_reply(std::vector<unsigned char>& out, std::uint64_t status,
-                        const ShardStats& stats, const std::string& message) {
+                        const ShardStats& stats, const std::string& message,
+                        std::uint32_t version) {
     append_u64(out, status);
     if (status != kStatusOk) {
         append_u64(out, message.size());
@@ -300,24 +315,26 @@ void encode_stats_reply(std::vector<unsigned char>& out, std::uint64_t status,
     append_u64(out, stats.in_flight);
     append_u64(out, stats.connections_accepted);
     append_bytes(out, &stats.uptime_seconds, sizeof stats.uptime_seconds);
+    if (version < 5) return;  // a v4 requester gets exactly the v4 shape
+    append_u64(out, stats.latency_buckets.size());
+    for (const auto& [index, count] : stats.latency_buckets) {
+        append_u64(out, index);
+        append_u64(out, count);
+    }
+    append_bytes(out, &stats.latency_p50_us, sizeof stats.latency_p50_us);
+    append_bytes(out, &stats.latency_p95_us, sizeof stats.latency_p95_us);
+    append_bytes(out, &stats.latency_p99_us, sizeof stats.latency_p99_us);
 }
 
 bool write_stats_reply(int fd, std::uint64_t status, const ShardStats& stats,
-                       const std::string& message) {
-    if (!write_u64(fd, status)) return false;
-    if (status != kStatusOk) {
-        return write_u64(fd, message.size()) &&
-               write_all(fd, message.data(), message.size());
-    }
-    return write_all(fd, &stats.version, sizeof stats.version) &&
-           write_u64(fd, stats.points_served) && write_u64(fd, stats.points_failed) &&
-           write_u64(fd, stats.handshakes_rejected) && write_u64(fd, stats.worker_respawns) &&
-           write_u64(fd, stats.points_timed_out) && write_u64(fd, stats.in_flight) &&
-           write_u64(fd, stats.connections_accepted) &&
-           write_all(fd, &stats.uptime_seconds, sizeof stats.uptime_seconds);
+                       const std::string& message, std::uint32_t version) {
+    std::vector<unsigned char> scratch;
+    encode_stats_reply(scratch, status, stats, message, version);
+    return write_all(fd, scratch.data(), scratch.size());
 }
 
-bool read_stats_reply(int fd, std::uint64_t& status, ShardStats& stats, std::string& message) {
+bool read_stats_reply(int fd, std::uint64_t& status, ShardStats& stats, std::string& message,
+                      std::uint32_t version) {
     message.clear();
     stats = ShardStats{};
     if (!read_u64(fd, status)) return false;
@@ -327,12 +344,30 @@ bool read_stats_reply(int fd, std::uint64_t& status, ShardStats& stats, std::str
         message.assign(static_cast<std::size_t>(len), '\0');
         return read_exact(fd, message.data(), message.size());
     }
-    return read_exact(fd, &stats.version, sizeof stats.version) &&
-           read_u64(fd, stats.points_served) && read_u64(fd, stats.points_failed) &&
-           read_u64(fd, stats.handshakes_rejected) && read_u64(fd, stats.worker_respawns) &&
-           read_u64(fd, stats.points_timed_out) && read_u64(fd, stats.in_flight) &&
-           read_u64(fd, stats.connections_accepted) &&
-           read_exact(fd, &stats.uptime_seconds, sizeof stats.uptime_seconds);
+    if (!(read_exact(fd, &stats.version, sizeof stats.version) &&
+          read_u64(fd, stats.points_served) && read_u64(fd, stats.points_failed) &&
+          read_u64(fd, stats.handshakes_rejected) && read_u64(fd, stats.worker_respawns) &&
+          read_u64(fd, stats.points_timed_out) && read_u64(fd, stats.in_flight) &&
+          read_u64(fd, stats.connections_accepted) &&
+          read_exact(fd, &stats.uptime_seconds, sizeof stats.uptime_seconds)))
+        return false;
+    if (version < 5) return true;
+    // v5 latency histogram: the bucket count and every index are validated
+    // before any allocation — a frame claiming more buckets than the
+    // telemetry histogram owns is corrupt, not large.
+    std::uint64_t n = 0;
+    if (!read_u64(fd, n) || n > kMaxHistogramBuckets) return false;
+    stats.latency_buckets.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) {
+        std::uint64_t index = 0;
+        std::uint64_t count = 0;
+        if (!read_u64(fd, index) || index >= kMaxHistogramBuckets) return false;
+        if (!read_u64(fd, count)) return false;
+        stats.latency_buckets.emplace_back(index, count);
+    }
+    return read_exact(fd, &stats.latency_p50_us, sizeof stats.latency_p50_us) &&
+           read_exact(fd, &stats.latency_p95_us, sizeof stats.latency_p95_us) &&
+           read_exact(fd, &stats.latency_p99_us, sizeof stats.latency_p99_us);
 }
 
 // ---------------------------------------------------------------------------

@@ -24,12 +24,12 @@
 //   batch request := u64 count, u64 dim, count*dim x f64   (points, row-major)
 //   batch result  := u64 count, count x response-body      (request order)
 //
-// Which framing a TCP connection speaks is fixed by the handshake: a
+// Which shapes a TCP connection speaks is fixed by the handshake: a
 // server accepts any hello version in [kMinProtocolVersion,
 // kProtocolVersion] and serves that connection at the client's version, so
-// v3 single-point peers interoperate with v4 servers (and a v4 client
-// downgrades to a v3-only server by re-dialing at the version the
-// rejection message names).
+// v4 peers interoperate with v5 servers (and a v5 client downgrades to a
+// v4-only server by re-dialing at the version the rejection message
+// names).
 //
 // TCP connections additionally start with a handshake so mismatched peers
 // are rejected cleanly instead of exchanging garbage frames:
@@ -38,11 +38,16 @@
 //                u64 fp_len, bytes (simulation fingerprint),
 //                u64 replicates                      (client -> server)
 //   welcome   := u64 status; status != 0: u64 msg_len, bytes
+//                v5, status 0: u64 server_now_us — a sample of the
+//                server's monotonic telemetry clock taken while encoding
+//                the welcome, the clock-offset anchor ehdoe-trace uses to
+//                merge client and server trace files onto one timeline
 //
 // A second connection kind serves farm monitoring *outside* the FIFO eval
 // path: a peer that opens with the stats magic gets one stats reply and the
 // connection closes — no handshake, no eval frames, no interleaving with
-// pipelined evaluation connections:
+// pipelined evaluation connections. The reply takes the shape of the
+// *requested* version, so a v4 monitor keeps parsing a v5 server:
 //
 //   stats req := 6-byte magic "EHDOES", u32 protocol version
 //   stats rep := u64 status
@@ -50,6 +55,10 @@
 //                          u64 handshakes_rejected, u64 worker_respawns,
 //                          u64 points_timed_out, u64 in_flight,
 //                          u64 connections_accepted, f64 uptime_seconds
+//                v5, status 0 continues with the server's eval-latency
+//                histogram (core/telemetry.hpp log buckets, microseconds):
+//                          u64 n, n x { u64 bucket_index, u64 count },
+//                          f64 p50_us, f64 p95_us, f64 p99_us
 //                status != 0: u64 msg_len, bytes     (e.g. version mismatch)
 //
 // Forked pipe workers skip the handshake — fork() guarantees both ends run
@@ -86,11 +95,16 @@ using num::Vector;
 ///     and stays outside the determinism contract).
 /// v4: multi-point batch frames — one request frame per sub-batch, one
 ///     result frame with all its responses (the wire hot-path overhaul).
-inline constexpr std::uint32_t kProtocolVersion = 4;
+/// v5: observability — the OK welcome carries a server clock sample (trace
+///     merging), the stats reply carries the server's eval-latency
+///     histogram + p50/p95/p99. Eval framing is unchanged from v4.
+inline constexpr std::uint32_t kProtocolVersion = 5;
 /// Oldest hello version a server still accepts; such a connection is
-/// served with that version's framing (v3 = single-point frames), so a
-/// fleet can roll the protocol forward one version at a time.
-inline constexpr std::uint32_t kMinProtocolVersion = 3;
+/// served with that version's reply shapes (v4 = no welcome clock sample,
+/// no stats histogram), so a fleet can roll the protocol forward one
+/// version at a time. v3 single-point framing completed its deprecation
+/// cycle and is no longer served.
+inline constexpr std::uint32_t kMinProtocolVersion = 4;
 inline constexpr char kHandshakeMagic[6] = {'E', 'H', 'D', 'O', 'E', 'N'};
 inline constexpr char kStatsMagic[6] = {'E', 'H', 'D', 'O', 'E', 'S'};
 
@@ -100,6 +114,11 @@ inline constexpr std::uint64_t kStatusError = 1;
 /// Upper bound on any length field read off a transport; larger values mean
 /// a corrupt or hostile peer and fail the frame before any allocation.
 inline constexpr std::uint64_t kSaneLimit = 1u << 24;
+
+/// Upper bound on the stats-reply histogram: bucket count and every bucket
+/// index must stay below this (the telemetry histogram has 976 buckets; a
+/// frame claiming more is corrupt and fails before any allocation).
+inline constexpr std::uint64_t kMaxHistogramBuckets = 1024;
 
 // ---------------------------------------------------------------------------
 // Low-level I/O: loop until the full buffer moved; false on EOF/hard error.
@@ -173,11 +192,21 @@ bool write_hello(int fd, const Hello& hello);
 bool read_hello(int fd, Hello& hello);
 
 /// status kStatusOk accepts; anything else carries a rejection message.
-bool write_welcome(int fd, std::uint64_t status, const std::string& message);
-bool read_welcome(int fd, std::uint64_t& status, std::string& message);
+/// `version` is the connection's negotiated version: from v5 on, an OK
+/// welcome carries `server_now_us` — the server's monotonic telemetry
+/// clock sampled at encode time (the trace-merge clock anchor). Readers at
+/// v5 receive it through `server_now_us` when non-null.
+bool write_welcome(int fd, std::uint64_t status, const std::string& message,
+                   std::uint32_t version = kMinProtocolVersion,
+                   std::uint64_t server_now_us = 0);
+bool read_welcome(int fd, std::uint64_t& status, std::string& message,
+                  std::uint32_t version = kMinProtocolVersion,
+                  std::uint64_t* server_now_us = nullptr);
 /// Buffer-encode form of write_welcome, for non-blocking writers.
 void encode_welcome(std::vector<unsigned char>& out, std::uint64_t status,
-                    const std::string& message);
+                    const std::string& message,
+                    std::uint32_t version = kMinProtocolVersion,
+                    std::uint64_t server_now_us = 0);
 
 // ---------------------------------------------------------------------------
 // Connection-kind dispatch and the stats frame (TCP only). A server reads
@@ -209,19 +238,33 @@ struct ShardStats {
     std::uint64_t in_flight = 0;
     std::uint64_t connections_accepted = 0;
     double uptime_seconds = 0.0;  ///< since the server start()ed
+    /// v5: the server's lifetime eval-latency histogram as sparse
+    /// (bucket_index, count) pairs (core::telemetry::LatencyHistogram log
+    /// buckets, microseconds) plus exact-rank percentiles. Empty/zero when
+    /// the reply was requested at v4.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> latency_buckets;
+    double latency_p50_us = 0.0;
+    double latency_p95_us = 0.0;
+    double latency_p99_us = 0.0;
 };
 
 bool write_stats_request(int fd, std::uint32_t version = kProtocolVersion);
 /// The version field after the magic.
 bool read_stats_request_body(int fd, std::uint32_t& version);
 
-/// status kStatusOk carries `stats`; anything else carries a message.
+/// status kStatusOk carries `stats`; anything else carries a message. The
+/// reply's shape follows the *requested* version (`version`): from v5 on,
+/// an OK reply appends the latency histogram + percentiles. Reader and
+/// writer must pass the same version the request named.
 bool write_stats_reply(int fd, std::uint64_t status, const ShardStats& stats,
-                       const std::string& message);
-bool read_stats_reply(int fd, std::uint64_t& status, ShardStats& stats, std::string& message);
+                       const std::string& message,
+                       std::uint32_t version = kMinProtocolVersion);
+bool read_stats_reply(int fd, std::uint64_t& status, ShardStats& stats, std::string& message,
+                      std::uint32_t version = kMinProtocolVersion);
 /// Buffer-encode form of write_stats_reply, for non-blocking writers.
 void encode_stats_reply(std::vector<unsigned char>& out, std::uint64_t status,
-                        const ShardStats& stats, const std::string& message);
+                        const ShardStats& stats, const std::string& message,
+                        std::uint32_t version = kMinProtocolVersion);
 
 // ---------------------------------------------------------------------------
 // The worker side of the protocol: serve request frames until EOF. Shared

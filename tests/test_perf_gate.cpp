@@ -130,6 +130,33 @@ TEST(PerfGate, ReorderedSweepRowIsCaughtByTheAnchor) {
     EXPECT_EQ(report.violations[0].path, "sweep[1].backend");
 }
 
+TEST(PerfGate, MaxCheckGatesLatencyCeilings) {
+    // The `max` kind is the mirror of `min`: percentile latency ledger
+    // fields must stay BELOW a ceiling. At the threshold passes, above
+    // fails, and a missing field is a violation of its own.
+    const JsonValue gates = parse_json(
+        R"({"t8_remote.jsonl": {"max": {"latency.p99_us": 5000}}})");
+
+    const GateReport healthy = check_gates(
+        gates, {{"t8_remote.jsonl", "{\"latency\": {\"p99_us\": 5000}}"}});
+    EXPECT_TRUE(healthy.ok()) << (healthy.violations.empty()
+                                      ? ""
+                                      : healthy.violations[0].message);
+    EXPECT_EQ(healthy.checks, 1u);
+
+    const GateReport regressed = check_gates(
+        gates, {{"t8_remote.jsonl", "{\"latency\": {\"p99_us\": 5000.5}}"}});
+    ASSERT_EQ(regressed.violations.size(), 1u);
+    EXPECT_EQ(regressed.violations[0].path, "latency.p99_us");
+    EXPECT_NE(regressed.violations[0].message.find("above the gate threshold"),
+              std::string::npos);
+
+    const GateReport missing =
+        check_gates(gates, {{"t8_remote.jsonl", "{\"latency\": {}}"}});
+    ASSERT_EQ(missing.violations.size(), 1u);
+    EXPECT_EQ(missing.violations[0].path, "latency.p99_us");
+}
+
 TEST(PerfGate, MissingLedgerIsItselfAViolation) {
     const JsonValue gates = parse_json(kT8Gates);
     const GateReport report = check_gates(gates, {});

@@ -1,9 +1,11 @@
-// Protocol version negotiation across the v3 -> v4 wire transition: a v3
-// client against a v4 server (and a v4 client against a v3-only server)
-// completes the S1 CCD bitwise identically to in-process evaluation, a
-// mixed-version farm serves both framings in one batch, and hostile or
-// truncated v4 batch headers fail the connection cleanly without taking
-// the server down.
+// Protocol version negotiation across the supported wire range
+// (kMinProtocolVersion..kProtocolVersion, today v4 -> v5): a
+// previous-version client against a new server (and a new client against
+// a previous-version-only server) completes the S1 CCD bitwise
+// identically to in-process evaluation, a mixed-version farm serves one
+// batch bitwise identically, stats replies take the shape of the
+// requested version, and hostile or truncated batch headers fail the
+// connection cleanly without taking the server down.
 #include <gtest/gtest.h>
 
 #include <sys/socket.h>
@@ -72,7 +74,8 @@ bool peer_closed(int fd) {
     return ::recv(fd, &byte, 1, 0) <= 0;
 }
 
-/// Complete a v4 eval handshake on a raw socket; returns the accepted fd.
+/// Complete a current-version eval handshake on a raw socket; returns the
+/// accepted fd (the v5 welcome's clock sample is consumed and discarded).
 int handshaken_connect(const net::EvalServer& server, const std::string& fingerprint) {
     const int fd = raw_connect(server.port());
     net::Hello hello;
@@ -80,7 +83,9 @@ int handshaken_connect(const net::EvalServer& server, const std::string& fingerp
     EXPECT_TRUE(net::write_hello(fd, hello));
     std::uint64_t status = net::kStatusError;
     std::string message;
-    EXPECT_TRUE(net::read_welcome(fd, status, message));
+    std::uint64_t server_now_us = 0;
+    EXPECT_TRUE(
+        net::read_welcome(fd, status, message, net::kProtocolVersion, &server_now_us));
     EXPECT_EQ(status, net::kStatusOk);
     return fd;
 }
@@ -88,10 +93,11 @@ int handshaken_connect(const net::EvalServer& server, const std::string& fingerp
 }  // namespace
 
 // ---------------------------------------------------------------------------
-// A pinned-v3 client against a v4 server: the server answers with v3
-// single-point framing and the S1 CCD lands bitwise identical.
+// A client pinned to the previous protocol version against a new server:
+// the server answers with the requested version's reply shapes and the S1
+// CCD lands bitwise identical.
 // ---------------------------------------------------------------------------
-TEST(ProtocolNegotiation, V3ClientAgainstV4ServerIsBitwiseIdentical) {
+TEST(ProtocolNegotiation, PreviousVersionClientAgainstNewServerIsBitwiseIdentical) {
     const core::Scenario sc = core::Scenario::make(core::ScenarioId::OfficeHvac, 30.0);
     const std::vector<Vector> points = s1_ccd_points(sc);
 
@@ -112,11 +118,12 @@ TEST(ProtocolNegotiation, V3ClientAgainstV4ServerIsBitwiseIdentical) {
 }
 
 // ---------------------------------------------------------------------------
-// An auto-negotiating (v4-leading) client against a v3-only server: the
-// rejection names the version the server speaks, the client re-dials at
-// it, and the batch is still bitwise identical.
+// An auto-negotiating (newest-leading) client against a server pinned to
+// the previous version: the rejection names the version the server
+// speaks, the client re-dials at it, and the batch is still bitwise
+// identical.
 // ---------------------------------------------------------------------------
-TEST(ProtocolNegotiation, V4ClientDowngradesToV3OnlyServer) {
+TEST(ProtocolNegotiation, NewClientDowngradesToPreviousVersionServer) {
     const core::Scenario sc = core::Scenario::make(core::ScenarioId::OfficeHvac, 30.0);
     const std::vector<Vector> points = s1_ccd_points(sc);
 
@@ -128,7 +135,7 @@ TEST(ProtocolNegotiation, V4ClientDowngradesToV3OnlyServer) {
     net::RemoteBackend remote(remote_opts({endpoint_of(*server)}, sc.fingerprint(), 0));
     ASSERT_EQ(remote.negotiated_versions(),
               std::vector<std::uint32_t>{net::kMinProtocolVersion});
-    // The downgrade cost one rejected dial before the v3 re-dial stuck.
+    // The downgrade cost one rejected dial before the re-dial stuck.
     EXPECT_EQ(server->handshakes_rejected(), 1u);
 
     const auto got = remote.evaluate(points);
@@ -138,10 +145,11 @@ TEST(ProtocolNegotiation, V4ClientDowngradesToV3OnlyServer) {
 }
 
 // ---------------------------------------------------------------------------
-// A mixed farm — one v4 shard, one v3-only shard — serves one batch with
-// both framings at once, still bitwise identical to in-process.
+// A mixed farm — one new shard, one previous-version-only shard — serves
+// one batch at both versions at once, still bitwise identical to
+// in-process (the v4/v5 reply shapes differ; the results must not).
 // ---------------------------------------------------------------------------
-TEST(ProtocolNegotiation, MixedVersionFarmServesBothFramings) {
+TEST(ProtocolNegotiation, MixedVersionFarmServesOneBatchBitwiseIdentical) {
     const core::Scenario sc = core::Scenario::make(core::ScenarioId::OfficeHvac, 30.0);
     const std::vector<Vector> points = s1_ccd_points(sc);
 
@@ -239,16 +247,57 @@ TEST(ProtocolNegotiation, StatsRequestAcceptsSupportedVersionRange) {
         [](const Vector& nat) { return core::ResponseMap{{"y", nat[0]}}; }, "sim-id",
         net::kProtocolVersion);
 
-    // A previous-version monitor keeps polling a new server.
+    // A previous-version monitor keeps polling a new server: the reply
+    // takes the *requested* version's shape — exactly the v4 frame, no
+    // histogram tail the old reader would choke on.
     const int fd = raw_connect(server->port());
     ASSERT_TRUE(net::write_stats_request(fd, net::kMinProtocolVersion));
     std::uint64_t status = net::kStatusError;
     net::ShardStats stats;
     std::string message;
-    ASSERT_TRUE(net::read_stats_reply(fd, status, stats, message));
+    ASSERT_TRUE(net::read_stats_reply(fd, status, stats, message, net::kMinProtocolVersion));
     EXPECT_EQ(status, net::kStatusOk);
     EXPECT_EQ(stats.version, net::kProtocolVersion);
+    EXPECT_TRUE(stats.latency_buckets.empty());
+    // Nothing follows the v4 reply: the connection is closed, not holding
+    // an unread v5 tail.
+    EXPECT_TRUE(peer_closed(fd));
     ::close(fd);
     EXPECT_EQ(server->stats_served(), 1u);
     EXPECT_EQ(server->handshakes_rejected(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// The v5 stats reply carries the shard's eval-latency histogram and
+// percentiles once it has served points.
+// ---------------------------------------------------------------------------
+TEST(ProtocolNegotiation, V5StatsReplyCarriesLatencyHistogram) {
+    auto server = start_versioned_server(
+        [](const Vector& nat) { return core::ResponseMap{{"y", nat[0]}}; }, "sim-id",
+        net::kProtocolVersion);
+
+    net::RemoteBackend remote(remote_opts({endpoint_of(*server)}, "sim-id", 0));
+    const auto got = remote.evaluate({Vector{2.0}, Vector{3.0}, Vector{4.0}});
+    ASSERT_EQ(got.size(), 3u);
+
+    const int fd = raw_connect(server->port());
+    ASSERT_TRUE(net::write_stats_request(fd, net::kProtocolVersion));
+    std::uint64_t status = net::kStatusError;
+    net::ShardStats stats;
+    std::string message;
+    ASSERT_TRUE(net::read_stats_reply(fd, status, stats, message, net::kProtocolVersion));
+    ::close(fd);
+    EXPECT_EQ(status, net::kStatusOk);
+    EXPECT_EQ(stats.points_served, 3u);
+    ASSERT_FALSE(stats.latency_buckets.empty());
+    std::uint64_t total = 0;
+    for (const auto& [index, count] : stats.latency_buckets) {
+        EXPECT_LT(index, net::kMaxHistogramBuckets);
+        total += count;
+    }
+    EXPECT_EQ(total, 3u);  // one sample per served point
+    // Percentiles are bucket floors: a sub-microsecond eval legitimately
+    // reports 0, so only the ordering is asserted.
+    EXPECT_GE(stats.latency_p95_us, stats.latency_p50_us);
+    EXPECT_GE(stats.latency_p99_us, stats.latency_p95_us);
 }

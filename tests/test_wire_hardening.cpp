@@ -83,7 +83,10 @@ private:
         const int fd = ::accept(listen_fd_, nullptr, nullptr);
         if (fd < 0) return;
         net::Hello hello;
-        if (net::read_hello(fd, hello) && net::write_welcome(fd, net::kStatusOk, "")) {
+        // Echo the hello's version so the welcome has the shape the client
+        // expects (a v5 client reads the trailing clock sample).
+        if (net::read_hello(fd, hello) &&
+            net::write_welcome(fd, net::kStatusOk, "", hello.version)) {
             Vector request;
             if (net::read_request(fd, request)) {
                 net::write_all(fd, poison_.data(), poison_.size());
@@ -118,10 +121,12 @@ TEST(WireHardening, ServerDropsOversizedRequestDimensionWithoutAllocating) {
     ASSERT_TRUE(net::write_hello(fd, hello));
     std::uint64_t status = net::kStatusError;
     std::string message;
-    ASSERT_TRUE(net::read_welcome(fd, status, message));
+    std::uint64_t server_now_us = 0;
+    ASSERT_TRUE(
+        net::read_welcome(fd, status, message, net::kProtocolVersion, &server_now_us));
     ASSERT_EQ(status, net::kStatusOk);
 
-    // A request claiming 2^60 coordinates: the sane-limit check must fail
+    // A request claiming 2^60 points: the sane-limit check must fail
     // the connection before any allocation is attempted.
     ASSERT_TRUE(net::write_u64(fd, std::uint64_t{1} << 60));
     EXPECT_TRUE(peer_closed(fd));
@@ -142,10 +147,12 @@ TEST(WireHardening, ServerDropsRequestTruncatedMidFrame) {
     ASSERT_TRUE(net::write_hello(fd, hello));
     std::uint64_t status = net::kStatusError;
     std::string message;
-    ASSERT_TRUE(net::read_welcome(fd, status, message));
+    std::uint64_t server_now_us = 0;
+    ASSERT_TRUE(
+        net::read_welcome(fd, status, message, net::kProtocolVersion, &server_now_us));
     ASSERT_EQ(status, net::kStatusOk);
 
-    // Claim two coordinates, deliver one, vanish.
+    // Claim two points, deliver a torso, vanish.
     ASSERT_TRUE(net::write_u64(fd, 2));
     const double half = 1.0;
     ASSERT_TRUE(net::write_all(fd, &half, sizeof half));
@@ -233,6 +240,85 @@ TEST(WireHardening, ClientDropsResultWithUnknownStatus) {
     std::vector<unsigned char> poison;
     push_u64(poison, 42);  // neither ok nor error
     expect_clean_death(std::move(poison));
+}
+
+namespace {
+
+/// Serve one stats connection with a hand-rolled OK reply: the full v4
+/// counter body followed by `tail` (a poisoned v5 histogram section), then
+/// close. Expects query_shard_stats to fail cleanly — no allocation
+/// blow-up, no hang.
+void expect_stats_tail_failure(std::vector<unsigned char> tail) {
+    const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(listen_fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    ASSERT_EQ(::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr), 0);
+    ASSERT_EQ(::listen(listen_fd, 4), 0);
+    sockaddr_in bound{};
+    socklen_t len = sizeof bound;
+    ::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&bound), &len);
+    const std::uint16_t port = ntohs(bound.sin_port);
+
+    std::thread fake([&] {
+        const int fd = ::accept(listen_fd, nullptr, nullptr);
+        if (fd < 0) return;
+        net::ConnectionKind kind;
+        std::uint32_t version = 0;
+        if (net::read_connection_magic(fd, kind) &&
+            net::read_stats_request_body(fd, version)) {
+            std::vector<unsigned char> reply;
+            push_u64(reply, net::kStatusOk);
+            const std::uint32_t served_version = net::kProtocolVersion;
+            const auto* vp = reinterpret_cast<const unsigned char*>(&served_version);
+            reply.insert(reply.end(), vp, vp + sizeof served_version);
+            for (int c = 0; c < 7; ++c) push_u64(reply, 0);  // the counters
+            const double uptime = 1.0;
+            const auto* up = reinterpret_cast<const unsigned char*>(&uptime);
+            reply.insert(reply.end(), up, up + sizeof uptime);
+            reply.insert(reply.end(), tail.begin(), tail.end());
+            net::write_all(fd, reply.data(), reply.size());
+        }
+        ::close(fd);
+    });
+
+    net::ShardStats stats;
+    std::string error;
+    EXPECT_FALSE(net::query_shard_stats(
+        net::parse_endpoint("127.0.0.1:" + std::to_string(port)), stats, error));
+    EXPECT_FALSE(error.empty());
+    fake.join();
+    ::close(listen_fd);
+}
+
+}  // namespace
+
+// A v5 stats reply claiming 2^59 histogram buckets: the bucket-count
+// limit must fail the read before any reserve() is attempted.
+TEST(WireHardening, StatsReplyWithOversizedHistogramCountFailsCleanly) {
+    std::vector<unsigned char> tail;
+    push_u64(tail, std::uint64_t{1} << 59);
+    expect_stats_tail_failure(std::move(tail));
+}
+
+// A bucket index beyond the histogram's own resolution is corrupt, not
+// large — rejected on the index field itself.
+TEST(WireHardening, StatsReplyWithOutOfRangeBucketIndexFailsCleanly) {
+    std::vector<unsigned char> tail;
+    push_u64(tail, 1);                          // one bucket...
+    push_u64(tail, net::kMaxHistogramBuckets);  // ...at an impossible index
+    push_u64(tail, 7);
+    expect_stats_tail_failure(std::move(tail));
+}
+
+// A histogram section cut short mid-entry fails the read, never hangs.
+TEST(WireHardening, StatsReplyTruncatedMidHistogramFailsCleanly) {
+    std::vector<unsigned char> tail;
+    push_u64(tail, 3);  // claim three buckets, deliver one, vanish
+    push_u64(tail, 2);
+    push_u64(tail, 5);
+    expect_stats_tail_failure(std::move(tail));
 }
 
 TEST(WireHardening, StatsQueryFailsCleanlyOnOversizedRejectionMessage) {

@@ -25,6 +25,10 @@
 //                         scenario fingerprint, or "exec:" + the recipe's
 //                         content hash in exec mode)
 //   --replicates N        replicates averaged per point (default 1)
+//   --trace FILE          record this shard's trace spans (accept/
+//                         handshake/eval, core/telemetry.hpp) and write a
+//                         Chrome trace-event JSON file on shutdown; merge
+//                         with the client's trace via ehdoe-trace
 //   --print-fingerprint   print the served fingerprint and exit
 //
 // On startup the daemon prints one "listening on HOST:PORT ..." line
@@ -40,6 +44,7 @@
 #include <thread>
 
 #include "core/scenario.hpp"
+#include "core/telemetry.hpp"
 #include "exec/sim_recipe.hpp"
 #include "net/eval_server.hpp"
 
@@ -55,7 +60,8 @@ int usage(const char* argv0) {
     std::cerr << "usage: " << argv0
               << " [--scenario S1|S2|S3] [--duration s] [--host addr] [--port p]\n"
                  "       [--workers n] [--mode inprocess|subprocess|exec] [--recipe file]\n"
-                 "       [--fingerprint str] [--replicates n] [--print-fingerprint]\n";
+                 "       [--fingerprint str] [--replicates n] [--trace file]\n"
+                 "       [--print-fingerprint]\n";
     return 2;
 }
 
@@ -73,6 +79,7 @@ int main(int argc, char** argv) {
     std::string mode = "inprocess";
     std::string recipe_path;
     std::string fingerprint_override;
+    std::string trace_path;
     net::EvalServerOptions options;
     options.workers = 0;
 
@@ -128,6 +135,10 @@ int main(int argc, char** argv) {
             const char* v = next();
             if (!v) return usage(argv[0]);
             fingerprint_override = v;
+        } else if (arg == "--trace") {
+            const char* v = next();
+            if (!v) return usage(argv[0]);
+            trace_path = v;
         } else if (arg == "--print-fingerprint") {
             print_fingerprint = true;
         } else {
@@ -171,9 +182,18 @@ int main(int argc, char** argv) {
     }
 
     try {
+        if (!trace_path.empty()) {
+            core::telemetry::enable();
+            core::telemetry::set_process_label("ehdoe-eval-server");
+        }
         net::EvalServer server(std::move(sim), options);
         server.start();
-        std::cout << "listening on " << options.host << ":" << server.port() << " "
+        const std::string endpoint_label =
+            options.host + ":" + std::to_string(server.port());
+        // The merge tool (core/trace_merge.hpp) matches this instant's
+        // endpoint against the client's handshake spans to anchor clocks.
+        core::telemetry::instant("listening", "server", "endpoint", endpoint_label);
+        std::cout << "listening on " << endpoint_label << " "
                   << workload << " workers=" << server.options().workers << " mode=" << mode
                   << " replicates=" << options.replicates << " fingerprint="
                   << options.fingerprint << std::endl;
@@ -187,6 +207,9 @@ int main(int argc, char** argv) {
                   << server.points_failed() << " failed) over " << server.connections_accepted()
                   << " connections\n";
         server.stop();
+        if (!trace_path.empty() && !core::telemetry::write_json(trace_path)) {
+            std::cerr << "ehdoe-eval-server: cannot write trace file '" << trace_path << "'\n";
+        }
     } catch (const std::exception& e) {
         std::cerr << "ehdoe-eval-server: " << e.what() << "\n";
         return 1;

@@ -4,9 +4,11 @@
 // protocol (net/wire.hpp, "EHDOES" connection kind) and prints one table
 // row per shard: points served/failed, handshake rejects, worker respawns
 // (exec mode: simulator relaunches), timed-out points, in-flight points
-// (worker occupancy), connections and uptime. The stats path is served
-// outside the FIFO eval pipeline, so polling a loaded farm never delays
-// evaluation traffic; occupancy/timeouts are display-only and stay
+// (worker occupancy), connections, uptime, and — from v5 servers — the
+// p50/p95/p99 of the shard's lifetime per-point eval latency (ms; "-" on
+// a shard that has served nothing yet or speaks v4). The stats path is
+// served outside the FIFO eval pipeline, so polling a loaded farm never
+// delays evaluation traffic; everything shown is display-only and stays
 // outside the determinism contract.
 //
 //   ehdoe-farm-stats 10.0.0.5:4217 10.0.0.6:4217
@@ -20,7 +22,9 @@
 //   --csv             emit CSV instead of the aligned table
 //   --json            emit one JSON object per poll (single line), with a
 //                     per-shard array — machine consumption without
-//                     table/CSV scraping
+//                     table/CSV scraping. Schema documented in README.md
+//                     ("Observability"); v5 shards add latency percentiles
+//                     and the sparse histogram buckets.
 //
 // Exit status: 0 when every endpoint answered the last poll, 1 when any
 // was unreachable or rejected the request, 2 on usage errors.
@@ -112,6 +116,23 @@ bool poll_once(const std::vector<net::Endpoint>& endpoints, Format format, long 
                        ",\"in_flight\":" + std::to_string(s.in_flight) +
                        ",\"connections\":" + std::to_string(s.connections_accepted) +
                        ",\"uptime_seconds\":" + uptime;
+                // Latency fields only when the shard reported a histogram
+                // (a v4 shard, or one that served nothing, omits them).
+                if (!s.latency_buckets.empty()) {
+                    char p50[32], p95[32], p99[32];
+                    std::snprintf(p50, sizeof p50, "%.1f", s.latency_p50_us);
+                    std::snprintf(p95, sizeof p95, "%.1f", s.latency_p95_us);
+                    std::snprintf(p99, sizeof p99, "%.1f", s.latency_p99_us);
+                    out += std::string(",\"latency_p50_us\":") + p50 +
+                           ",\"latency_p95_us\":" + p95 + ",\"latency_p99_us\":" + p99 +
+                           ",\"latency_buckets\":[";
+                    for (std::size_t b = 0; b < s.latency_buckets.size(); ++b) {
+                        if (b > 0) out += ",";
+                        out += "[" + std::to_string(s.latency_buckets[b].first) + "," +
+                               std::to_string(s.latency_buckets[b].second) + "]";
+                    }
+                    out += "]";
+                }
             } else {
                 out += ",\"error\":\"" + json_escape(errors[i]) + "\"";
             }
@@ -126,12 +147,19 @@ bool poll_once(const std::vector<net::Endpoint>& endpoints, Format format, long 
 
     core::Table t("Farm stats (" + std::to_string(endpoints.size()) + " shards)");
     t.headers({"endpoint", "state", "served", "failed", "rejects", "respawns", "timeouts",
-               "inflight", "conns", "uptime"});
+               "inflight", "conns", "uptime", "p50ms", "p95ms", "p99ms"});
+    auto ms_cell = [](double us, bool have) -> std::string {
+        if (!have) return "-";
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.1f", us / 1000.0);
+        return buf;
+    };
     for (std::size_t i = 0; i < endpoints.size(); ++i) {
         const net::Endpoint& e = endpoints[i];
         const net::ShardStats& s = stats[i];
         const std::string label = e.host + ":" + std::to_string(e.port);
         if (reachable[i]) {
+            const bool have_latency = !s.latency_buckets.empty();
             t.row()
                 .cell(label)
                 .cell("up")
@@ -142,10 +170,13 @@ bool poll_once(const std::vector<net::Endpoint>& endpoints, Format format, long 
                 .cell(static_cast<std::size_t>(s.points_timed_out))
                 .cell(static_cast<std::size_t>(s.in_flight))
                 .cell(static_cast<std::size_t>(s.connections_accepted))
-                .cell(core::format_seconds(s.uptime_seconds));
+                .cell(core::format_seconds(s.uptime_seconds))
+                .cell(ms_cell(s.latency_p50_us, have_latency))
+                .cell(ms_cell(s.latency_p95_us, have_latency))
+                .cell(ms_cell(s.latency_p99_us, have_latency));
         } else {
             t.row().cell(label).cell("DOWN: " + errors[i]).cell("-").cell("-").cell("-").cell(
-                "-").cell("-").cell("-").cell("-").cell("-");
+                "-").cell("-").cell("-").cell("-").cell("-").cell("-").cell("-").cell("-");
         }
     }
     if (format == Format::Csv) {
