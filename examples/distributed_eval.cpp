@@ -11,7 +11,15 @@
 //                         in-process (they must serve the S1/120s
 //                         fingerprint);
 //   EHDOE_TRACE_FILE      record the client-side trace here (merge with
-//                         the servers' --trace files via ehdoe-trace).
+//                         the servers' --trace files via ehdoe-trace);
+//   EHDOE_STORE_ENDPOINT  host:port of an ehdoe-store-server — consult
+//                         the shared result store before simulating and
+//                         publish fresh results back, so a second run
+//                         against the same store simulates nothing;
+//   EHDOE_JSON_STATS      non-empty prints one machine-parseable
+//                         "EHDOE_STATS_JSON {...}" line with the flow's
+//                         simulation/cache counters (the CI store smoke
+//                         asserts on it).
 #include <atomic>
 #include <cstdlib>
 #include <iostream>
@@ -34,6 +42,10 @@ int main() {
     o.cache_fingerprint = fingerprint;
     if (const char* trace = std::getenv("EHDOE_TRACE_FILE"); trace && *trace) {
         o.trace_file = trace;
+    }
+    if (const char* store = std::getenv("EHDOE_STORE_ENDPOINT"); store && *store) {
+        o.store_endpoint = store;
+        std::cout << "using shared result store at " << store << "\n";
     }
 
     // Two single-worker shards on ephemeral loopback ports — unless
@@ -97,6 +109,13 @@ int main() {
                   << " remote simulations, " << flow.batch_stats().cache_hits
                   << " cache hits\nbest packets (confirmed): "
                   << outcome.confirmed.value_or(-1.0) << "\n";
+
+        if (const char* json = std::getenv("EHDOE_JSON_STATS"); json && *json) {
+            std::cout << "EHDOE_STATS_JSON {\"simulations\": "
+                      << flow.batch_stats().simulations
+                      << ", \"cache_hits\": " << flow.batch_stats().cache_hits
+                      << ", \"points\": " << flow.batch_stats().points << "}\n";
+        }
     }
 
     for (auto& s : shards) s->stop();

@@ -1,6 +1,8 @@
 #include "core/persistent_cache.hpp"
 
+#include <fcntl.h>
 #include <signal.h>
+#include <sys/file.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -137,6 +139,36 @@ void reap_stale_temporaries(const std::string& path) {
     }
 }
 
+/// Advisory flock on '<path>.lock' held for the duration of one save, so
+/// concurrent savers serialize their read-merge-write cycles instead of
+/// both loading the same on-disk state and the slower rename dropping the
+/// faster writer's fresh entries. The lock file is a *sibling* — locking
+/// the snapshot itself would not survive the rename (the inode the lock
+/// lives on is replaced) — and is deliberately never unlinked: removing it
+/// would let a latecomer lock a fresh inode while an existing holder still
+/// owns the old one, silently re-admitting the race. Best effort: where
+/// the lock cannot be taken (read-only dir, exotic filesystem) the save
+/// degrades to the old merge-without-lock behaviour instead of failing.
+class SaveLock {
+  public:
+    explicit SaveLock(const std::string& snapshot_path) {
+        const std::string lock_path = snapshot_path + ".lock";
+        fd_ = ::open(lock_path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+        if (fd_ >= 0 && ::flock(fd_, LOCK_EX) != 0) {
+            ::close(fd_);
+            fd_ = -1;
+        }
+    }
+    ~SaveLock() {
+        if (fd_ >= 0) ::close(fd_);  // closing releases the flock
+    }
+    SaveLock(const SaveLock&) = delete;
+    SaveLock& operator=(const SaveLock&) = delete;
+
+  private:
+    int fd_ = -1;
+};
+
 }  // namespace
 
 void PersistentCache::load() {
@@ -151,13 +183,13 @@ bool PersistentCache::save() const {
     telemetry::Span span("cache-save", "cache");
     span.arg("entries", static_cast<std::uint64_t>(table_.size()));
     // Concurrent writers (several flows sharing one snapshot as their
-    // result store): fold in whatever a compatible snapshot on disk holds
-    // beyond our own table, so the last writer keeps the union rather than
-    // clobbering its siblings. In-memory entries win ties; the atomic
-    // tmp+rename below guarantees readers only ever see a complete file —
-    // racing savers can drop the *other* writer's latest entries (last
-    // rename wins), but never corrupt, and a dropped entry is re-merged on
-    // that writer's next save.
+    // result store): under the advisory save lock, fold in whatever a
+    // compatible snapshot on disk holds beyond our own table, so racing
+    // savers converge on the union — each one reads the previous writer's
+    // complete file before renaming its own. In-memory entries win ties;
+    // the atomic tmp+rename below guarantees readers (which never take the
+    // lock) only ever see a complete file.
+    const SaveLock lock(path_);
     std::map<std::vector<double>, ResponseMap> merged;
     if (load_snapshot(path_, fingerprint_, merged)) {
         for (const auto& [key, responses] : table_) merged[key] = responses;

@@ -22,9 +22,13 @@
 // place, so a crash mid-save cannot destroy the previous snapshot and
 // concurrent savers cannot interleave into one half-written file. save()
 // also merges compatible entries already on disk into the snapshot it
-// writes (in-memory entries win), so several processes sharing one file as
-// their result store converge to the union of their tables instead of the
-// last writer clobbering the rest.
+// writes (in-memory entries win), with the whole read-merge-rename cycle
+// serialized by an advisory flock on a '<path>.lock' sibling, so several
+// processes sharing one file as their result store converge to the union
+// of their tables — no writer can drop another's entries by merging
+// against a stale read. For result sharing across *machines* (or without
+// a shared filesystem), the farm-wide store service (store/) is the
+// scalable tier above this one.
 #pragma once
 
 #include <memory>

@@ -26,6 +26,7 @@ DesignFlow::DesignFlow(doe::DesignSpace space, doe::Simulation simulation, Optio
     ro.memoize = options_.memoize;
     ro.cache_file = options_.cache_file;
     ro.cache_fingerprint = options_.cache_fingerprint;
+    ro.store_endpoint = options_.store_endpoint;
     ro.on_batch = options_.on_batch;
     ro.trace_file = options_.trace_file;
     runner_ = std::make_unique<doe::BatchRunner>(std::move(simulation), std::move(ro));

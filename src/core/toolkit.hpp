@@ -91,6 +91,12 @@ public:
         /// Identity of the simulation behind `cache_file`; a mismatch
         /// invalidates the snapshot.
         std::string cache_fingerprint;
+        /// Shared result store service ("host:port", ehdoe-store-server);
+        /// non-empty lets independent farm runs of the same flow share
+        /// results through one daemon — the farm-wide tier between the
+        /// local snapshot and simulation. Keys carry the cache identity,
+        /// so hits are bit-identical to local simulation by construction.
+        std::string store_endpoint;
         /// Per-batch progress callback (throughput reporting).
         std::function<void(const doe::BatchProgress&)> on_batch;
         /// Non-empty records a Chrome trace-event JSON file of the whole

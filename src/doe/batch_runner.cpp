@@ -8,6 +8,7 @@
 #include "core/telemetry.hpp"
 #include "exec/exec_backend.hpp"
 #include "net/remote_backend.hpp"
+#include "store/store_backend.hpp"
 
 namespace ehdoe::doe {
 
@@ -84,15 +85,28 @@ BatchRunner::BatchRunner(Simulation sim, RunnerOptions options)
         bo.on_batch = std::move(on_batch);
         backend_ = core::make_backend(std::move(sim), options_.backend, bo);
     }
+    // The replicate count (and the recipe revision, for exec stacks) is
+    // part of the result identity: entries hold replicate-averaged
+    // responses, which a run with a different count — or a different
+    // simulator — must never silently reuse. The store keys and the
+    // snapshot fingerprint share this one string.
+    const std::string identity = options_.cache_fingerprint + recipe_tag +
+                                 "/replicates=" + std::to_string(options_.replicates);
+    if (!options_.store_endpoint.empty()) {
+        // The farm-wide tier sits between the local snapshot and
+        // simulation: snapshot hits never touch the network, store hits
+        // never touch a simulator.
+        const net::Endpoint ep = net::parse_endpoint(options_.store_endpoint);
+        store::StoreBackendOptions so;
+        so.host = ep.host;
+        so.port = ep.port;
+        so.fingerprint = identity;
+        so.redial_seconds = options_.redial_seconds > 0 ? options_.redial_seconds : 1.0;
+        backend_ = std::make_shared<store::StoreBackend>(std::move(backend_), std::move(so));
+    }
     if (!options_.cache_file.empty()) {
-        // The replicate count (and the recipe revision, for exec stacks)
-        // is part of the cache identity: entries hold replicate-averaged
-        // responses, which a run with a different count — or a different
-        // simulator — must never silently reuse.
-        auto cached = std::make_shared<core::PersistentCache>(
-            std::move(backend_), options_.cache_file,
-            options_.cache_fingerprint + recipe_tag +
-                "/replicates=" + std::to_string(options_.replicates));
+        auto cached = std::make_shared<core::PersistentCache>(std::move(backend_),
+                                                              options_.cache_file, identity);
         persistent_ = cached.get();
         backend_ = std::move(cached);
     }
@@ -119,8 +133,12 @@ std::size_t BatchRunner::threads() const { return backend_->concurrency(); }
 bool BatchRunner::save_cache() const { return persistent_ ? persistent_->save() : false; }
 
 std::vector<net::ShardReport> BatchRunner::shard_stats() const {
+    // Unwrap the reuse decorators (snapshot, store) down to the execution
+    // backend; only a remote one has shards to report on.
     const core::EvalBackend* backend = backend_.get();
     if (persistent_) backend = &persistent_->inner();
+    if (const auto* store = dynamic_cast<const store::StoreBackend*>(backend))
+        backend = &store->inner();
     if (const auto* remote = dynamic_cast<const net::RemoteBackend*>(backend)) {
         return remote->shard_stats();
     }

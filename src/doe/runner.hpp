@@ -98,6 +98,15 @@ struct RunnerOptions {
     /// count is appended automatically — cached responses are
     /// replicate-averaged and must not cross replicate settings.
     std::string cache_fingerprint;
+    /// Shared result store service ("host:port", store/store_server.hpp);
+    /// non-empty wraps the backend in a store::StoreBackend consulted
+    /// between the local snapshot and simulation, so independent farm runs
+    /// share results through one daemon. Keys carry the same identity as
+    /// `cache_file` (cache_fingerprint + recipe hash + replicates), so a
+    /// store hit is bit-identical to a local simulation by construction.
+    /// Construction throws when the store is unreachable; a store dying
+    /// *mid-run* degrades to simulation instead of failing the run.
+    std::string store_endpoint;
     /// Invoked after every completed batch (from worker threads, serialized).
     std::function<void(const BatchProgress&)> on_batch;
     /// Non-empty enables trace recording (core/telemetry.hpp) for the

@@ -41,6 +41,12 @@ std::vector<std::string> split_lines(const std::string& text) {
         lines.push_back(text.substr(pos, nl - pos));
         pos = nl + 1;
     }
+    // A CRLF-emitting simulator (Windows tools, some EDA logs) must parse
+    // like an LF one: a trailing '\r' would ride into the last column token
+    // and defeat `$`-anchored extraction regexes.
+    for (std::string& line : lines) {
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+    }
     return lines;
 }
 

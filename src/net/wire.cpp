@@ -282,6 +282,8 @@ bool read_connection_magic(int fd, ConnectionKind& kind) {
         kind = ConnectionKind::Eval;
     } else if (matches(kStatsMagic)) {
         kind = ConnectionKind::Stats;
+    } else if (matches(kStoreMagic)) {
+        kind = ConnectionKind::Store;
     } else {
         kind = ConnectionKind::Unknown;
     }
@@ -368,6 +370,213 @@ bool read_stats_reply(int fd, std::uint64_t& status, ShardStats& stats, std::str
     return read_exact(fd, &stats.latency_p50_us, sizeof stats.latency_p50_us) &&
            read_exact(fd, &stats.latency_p95_us, sizeof stats.latency_p95_us) &&
            read_exact(fd, &stats.latency_p99_us, sizeof stats.latency_p99_us);
+}
+
+// ---------------------------------------------------------------------------
+// Store frames (protocol v6)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Cumulative pre-allocation budget for one store frame: every length a
+/// decoder is about to allocate is charged against the remaining budget, so
+/// a frame's *total* claimed size is bounded by kSaneLimit even when each
+/// individual field passes its own check.
+class FrameBudget {
+  public:
+    bool charge(std::uint64_t bytes) {
+        if (bytes > remaining_) return false;
+        remaining_ -= bytes;
+        return true;
+    }
+
+  private:
+    std::uint64_t remaining_ = kSaneLimit;
+};
+
+bool read_string_budgeted(int fd, std::string& out, FrameBudget& budget) {
+    std::uint64_t len = 0;
+    if (!read_u64(fd, len) || len > kSaneLimit || !budget.charge(len)) return false;
+    out.assign(static_cast<std::size_t>(len), '\0');
+    return read_exact(fd, out.data(), out.size());
+}
+
+bool read_responses_budgeted(int fd, ResponseMap& out, FrameBudget& budget) {
+    std::uint64_t n = 0;
+    if (!read_u64(fd, n) || n > kSaneLimit || !budget.charge(n * sizeof(double))) return false;
+    for (std::uint64_t j = 0; j < n; ++j) {
+        std::string name;
+        double value = 0.0;
+        if (!read_string_budgeted(fd, name, budget)) return false;
+        if (!read_exact(fd, &value, sizeof value)) return false;
+        out.emplace(std::move(name), value);
+    }
+    return true;
+}
+
+void append_responses(std::vector<unsigned char>& out, const ResponseMap& responses) {
+    append_u64(out, responses.size());
+    for (const auto& [name, value] : responses) {
+        append_u64(out, name.size());
+        append_bytes(out, name.data(), name.size());
+        append_bytes(out, &value, sizeof value);
+    }
+}
+
+bool read_error_message(int fd, std::string& message) {
+    std::uint64_t len = 0;
+    if (!read_u64(fd, len) || len > kSaneLimit) return false;
+    message.assign(static_cast<std::size_t>(len), '\0');
+    return read_exact(fd, message.data(), message.size());
+}
+
+}  // namespace
+
+bool write_store_hello(int fd, std::uint32_t version) {
+    return write_all(fd, kStoreMagic, sizeof kStoreMagic) &&
+           write_all(fd, &version, sizeof version);
+}
+
+bool read_store_hello_body(int fd, std::uint32_t& version) {
+    return read_exact(fd, &version, sizeof version);
+}
+
+bool read_store_opcode(int fd, std::uint64_t& opcode) { return read_u64(fd, opcode); }
+
+bool write_store_get_request(int fd, const std::vector<std::string>& keys,
+                             std::vector<unsigned char>& scratch) {
+    scratch.clear();
+    append_u64(scratch, kStoreOpGet);
+    append_u64(scratch, keys.size());
+    for (const std::string& key : keys) {
+        append_u64(scratch, key.size());
+        append_bytes(scratch, key.data(), key.size());
+    }
+    return write_all(fd, scratch.data(), scratch.size());
+}
+
+bool read_store_get_request_body(int fd, std::vector<std::string>& keys) {
+    keys.clear();
+    FrameBudget budget;
+    std::uint64_t count = 0;
+    if (!read_u64(fd, count) || count == 0 || count > kSaneLimit) return false;
+    keys.reserve(static_cast<std::size_t>(count) < 4096 ? static_cast<std::size_t>(count)
+                                                        : 4096);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        std::string key;
+        if (!read_string_budgeted(fd, key, budget)) return false;
+        keys.push_back(std::move(key));
+    }
+    return true;
+}
+
+bool write_store_get_reply(int fd, const std::vector<StoreLookup>& lookups,
+                           std::vector<unsigned char>& scratch) {
+    scratch.clear();
+    append_u64(scratch, kStatusOk);
+    append_u64(scratch, lookups.size());
+    for (const StoreLookup& l : lookups) {
+        append_u64(scratch, l.found ? 1 : 0);
+        if (l.found) append_responses(scratch, l.responses);
+    }
+    return write_all(fd, scratch.data(), scratch.size());
+}
+
+bool read_store_get_reply(int fd, std::size_t expected, std::vector<StoreLookup>& lookups) {
+    lookups.clear();
+    FrameBudget budget;
+    std::uint64_t status = kStatusError;
+    if (!read_u64(fd, status) || status != kStatusOk) return false;
+    std::uint64_t count = 0;
+    if (!read_u64(fd, count) || count != expected) return false;
+    lookups.resize(static_cast<std::size_t>(count));
+    for (StoreLookup& l : lookups) {
+        std::uint64_t found = 0;
+        if (!read_u64(fd, found) || found > 1) return false;
+        l.found = found != 0;
+        if (l.found && !read_responses_budgeted(fd, l.responses, budget)) return false;
+    }
+    return true;
+}
+
+bool write_store_put_request(int fd, const std::vector<StoreEntry>& entries,
+                             std::vector<unsigned char>& scratch) {
+    scratch.clear();
+    append_u64(scratch, kStoreOpPut);
+    append_u64(scratch, entries.size());
+    for (const StoreEntry& e : entries) {
+        append_u64(scratch, e.key.size());
+        append_bytes(scratch, e.key.data(), e.key.size());
+        append_responses(scratch, e.responses);
+    }
+    return write_all(fd, scratch.data(), scratch.size());
+}
+
+bool read_store_put_request_body(int fd, std::vector<StoreEntry>& entries) {
+    entries.clear();
+    FrameBudget budget;
+    std::uint64_t count = 0;
+    if (!read_u64(fd, count) || count == 0 || count > kSaneLimit) return false;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        StoreEntry entry;
+        if (!read_string_budgeted(fd, entry.key, budget)) return false;
+        if (!read_responses_budgeted(fd, entry.responses, budget)) return false;
+        entries.push_back(std::move(entry));
+    }
+    return true;
+}
+
+bool write_store_put_reply(int fd, std::uint64_t status, std::uint64_t appended,
+                           const std::string& message) {
+    if (!write_u64(fd, status)) return false;
+    if (status == kStatusOk) return write_u64(fd, appended);
+    return write_u64(fd, message.size()) && write_all(fd, message.data(), message.size());
+}
+
+bool read_store_put_reply(int fd, std::uint64_t& status, std::uint64_t& appended,
+                          std::string& message) {
+    message.clear();
+    appended = 0;
+    if (!read_u64(fd, status)) return false;
+    if (status == kStatusOk) return read_u64(fd, appended);
+    return read_error_message(fd, message);
+}
+
+bool write_store_stats_request(int fd) { return write_u64(fd, kStoreOpStats); }
+
+bool write_store_stats_reply(int fd, std::uint64_t status, const StoreStats& stats,
+                             const std::string& message) {
+    std::vector<unsigned char> scratch;
+    append_u64(scratch, status);
+    if (status == kStatusOk) {
+        append_u64(scratch, stats.keys);
+        append_u64(scratch, stats.segments);
+        append_u64(scratch, stats.quarantined_segments);
+        append_u64(scratch, stats.gets_served);
+        append_u64(scratch, stats.get_hits);
+        append_u64(scratch, stats.puts_received);
+        append_u64(scratch, stats.records_appended);
+        append_u64(scratch, stats.connections_accepted);
+        append_bytes(scratch, &stats.uptime_seconds, sizeof stats.uptime_seconds);
+    } else {
+        append_u64(scratch, message.size());
+        append_bytes(scratch, message.data(), message.size());
+    }
+    return write_all(fd, scratch.data(), scratch.size());
+}
+
+bool read_store_stats_reply(int fd, std::uint64_t& status, StoreStats& stats,
+                            std::string& message) {
+    message.clear();
+    stats = StoreStats{};
+    if (!read_u64(fd, status)) return false;
+    if (status != kStatusOk) return read_error_message(fd, message);
+    return read_u64(fd, stats.keys) && read_u64(fd, stats.segments) &&
+           read_u64(fd, stats.quarantined_segments) && read_u64(fd, stats.gets_served) &&
+           read_u64(fd, stats.get_hits) && read_u64(fd, stats.puts_received) &&
+           read_u64(fd, stats.records_appended) &&
+           read_u64(fd, stats.connections_accepted) &&
+           read_exact(fd, &stats.uptime_seconds, sizeof stats.uptime_seconds);
 }
 
 // ---------------------------------------------------------------------------

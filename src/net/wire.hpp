@@ -98,15 +98,22 @@ using num::Vector;
 /// v5: observability — the OK welcome carries a server clock sample (trace
 ///     merging), the stats reply carries the server's eval-latency
 ///     histogram + p50/p95/p99. Eval framing is unchanged from v4.
-inline constexpr std::uint32_t kProtocolVersion = 5;
+/// v6: the store connection kind ("EHDOER") joined the protocol — the
+///     shared result store's get-batch/put-batch/stats frames. Eval and
+///     stats framing are unchanged from v5.
+inline constexpr std::uint32_t kProtocolVersion = 6;
 /// Oldest hello version a server still accepts; such a connection is
 /// served with that version's reply shapes (v4 = no welcome clock sample,
 /// no stats histogram), so a fleet can roll the protocol forward one
 /// version at a time. v3 single-point framing completed its deprecation
 /// cycle and is no longer served.
 inline constexpr std::uint32_t kMinProtocolVersion = 4;
+/// Oldest hello version a *store* server accepts: the store connection
+/// kind did not exist before v6, so store peers cannot downgrade below it.
+inline constexpr std::uint32_t kStoreMinProtocolVersion = 6;
 inline constexpr char kHandshakeMagic[6] = {'E', 'H', 'D', 'O', 'E', 'N'};
 inline constexpr char kStatsMagic[6] = {'E', 'H', 'D', 'O', 'E', 'S'};
+inline constexpr char kStoreMagic[6] = {'E', 'H', 'D', 'O', 'E', 'R'};
 
 inline constexpr std::uint64_t kStatusOk = 0;
 inline constexpr std::uint64_t kStatusError = 1;
@@ -215,7 +222,7 @@ void encode_welcome(std::vector<unsigned char>& out, std::uint64_t status,
 // else is a broken or alien peer.
 // ---------------------------------------------------------------------------
 
-enum class ConnectionKind { Eval, Stats, Unknown };
+enum class ConnectionKind { Eval, Stats, Store, Unknown };
 
 /// Consume the 6-byte opening magic and classify the connection. False when
 /// the peer vanished before sending a full magic.
@@ -265,6 +272,98 @@ bool read_stats_reply(int fd, std::uint64_t& status, ShardStats& stats, std::str
 void encode_stats_reply(std::vector<unsigned char>& out, std::uint64_t status,
                         const ShardStats& stats, const std::string& message,
                         std::uint32_t version = kMinProtocolVersion);
+
+// ---------------------------------------------------------------------------
+// Store frames (protocol v6, TCP only). A third connection kind serves the
+// farm-wide result store: a peer opening with the store magic speaks
+// opcode-framed get-batch/put-batch/stats requests over one pipelined
+// connection (FIFO, like eval). Keys are opaque byte strings (in practice
+// the cache identity + hexfloat-exact point, see store/store_backend.hpp)
+// and values are response maps, reusing the v5 response-body codec:
+//
+//   store hello := 6-byte magic "EHDOER", u32 protocol version
+//   welcome     := (the eval welcome frame, version-shaped)
+//   request     := u64 opcode, opcode body:
+//     get (0)   := u64 count, count x { u64 key_len, bytes }
+//     put (1)   := u64 count, count x { u64 key_len, bytes,
+//                    u64 n, n x { u64 name_len, bytes, f64 value } }
+//     stats (2) := (empty body)
+//   reply       := u64 status; status != 0: u64 msg_len, bytes
+//     get, status 0 := u64 count, count x { u64 found,
+//                    found != 0: u64 n, n x { u64 name_len, bytes, f64 } }
+//     put, status 0 := u64 appended   (records newly written; a duplicate
+//                    key carrying bitwise-identical responses is
+//                    acknowledged without re-appending)
+//     stats, status 0 := u64 keys, u64 segments, u64 quarantined_segments,
+//                    u64 gets_served, u64 get_hits, u64 puts_received,
+//                    u64 records_appended, u64 connections_accepted,
+//                    f64 uptime_seconds
+//
+// Every length field is checked against kSaneLimit before allocation, and
+// a whole get/put frame additionally runs against a cumulative kSaneLimit
+// byte budget, so a hostile count cannot multiply per-item limits into an
+// allocation bomb.
+// ---------------------------------------------------------------------------
+
+inline constexpr std::uint64_t kStoreOpGet = 0;
+inline constexpr std::uint64_t kStoreOpPut = 1;
+inline constexpr std::uint64_t kStoreOpStats = 2;
+
+/// One key → responses pair as carried by a put-batch frame.
+struct StoreEntry {
+    std::string key;
+    ResponseMap responses;
+};
+
+/// One get-batch lookup result; `responses` is meaningful iff `found`.
+struct StoreLookup {
+    bool found = false;
+    ResponseMap responses;
+};
+
+/// The store server's monitoring counters as carried by its stats reply.
+struct StoreStats {
+    std::uint64_t keys = 0;                  ///< distinct keys in the index
+    std::uint64_t segments = 0;              ///< live segment files
+    std::uint64_t quarantined_segments = 0;  ///< corrupt segments set aside
+    std::uint64_t gets_served = 0;           ///< lookups answered (lifetime)
+    std::uint64_t get_hits = 0;              ///< lookups answered found
+    std::uint64_t puts_received = 0;         ///< put entries received
+    std::uint64_t records_appended = 0;      ///< entries newly appended
+    std::uint64_t connections_accepted = 0;
+    double uptime_seconds = 0.0;  ///< since the server start()ed
+};
+
+bool write_store_hello(int fd, std::uint32_t version = kProtocolVersion);
+/// The version field after the magic (read_connection_magic consumed it).
+bool read_store_hello_body(int fd, std::uint32_t& version);
+
+/// Request framing: every request starts with its opcode word.
+bool read_store_opcode(int fd, std::uint64_t& opcode);
+
+bool write_store_get_request(int fd, const std::vector<std::string>& keys,
+                             std::vector<unsigned char>& scratch);
+/// The keys after the opcode word; enforces the cumulative byte budget.
+bool read_store_get_request_body(int fd, std::vector<std::string>& keys);
+bool write_store_get_reply(int fd, const std::vector<StoreLookup>& lookups,
+                           std::vector<unsigned char>& scratch);
+/// The caller knows how many lookups its request is owed; a reply whose
+/// count differs is a broken peer and fails before any decode.
+bool read_store_get_reply(int fd, std::size_t expected, std::vector<StoreLookup>& lookups);
+
+bool write_store_put_request(int fd, const std::vector<StoreEntry>& entries,
+                             std::vector<unsigned char>& scratch);
+bool read_store_put_request_body(int fd, std::vector<StoreEntry>& entries);
+bool write_store_put_reply(int fd, std::uint64_t status, std::uint64_t appended,
+                           const std::string& message);
+bool read_store_put_reply(int fd, std::uint64_t& status, std::uint64_t& appended,
+                          std::string& message);
+
+bool write_store_stats_request(int fd);
+bool write_store_stats_reply(int fd, std::uint64_t status, const StoreStats& stats,
+                             const std::string& message);
+bool read_store_stats_reply(int fd, std::uint64_t& status, StoreStats& stats,
+                            std::string& message);
 
 // ---------------------------------------------------------------------------
 // The worker side of the protocol: serve request frames until EOF. Shared

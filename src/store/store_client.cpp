@@ -1,0 +1,115 @@
+#include "store/store_client.hpp"
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <stdexcept>
+
+namespace ehdoe::store {
+
+using namespace ehdoe::net;
+
+namespace {
+
+/// Resolve + connect with bounded connect and I/O times (SO_SNDTIMEO
+/// covers connect() on Linux). Same shape as the eval client's dialer.
+int connect_tcp(const std::string& host, std::uint16_t port, int timeout_seconds) {
+    addrinfo hints{};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo* found = nullptr;
+    const std::string port_str = std::to_string(port);
+    if (::getaddrinfo(host.c_str(), port_str.c_str(), &hints, &found) != 0 || !found)
+        throw std::runtime_error("cannot resolve store endpoint " + host + ":" + port_str);
+
+    int fd = -1;
+    for (addrinfo* ai = found; ai; ai = ai->ai_next) {
+        fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+        if (fd < 0) continue;
+        if (timeout_seconds > 0) {
+            timeval timeout{};
+            timeout.tv_sec = timeout_seconds;
+            ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof timeout);
+            ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof timeout);
+        }
+        if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+        ::close(fd);
+        fd = -1;
+    }
+    ::freeaddrinfo(found);
+    if (fd < 0)
+        throw std::runtime_error("store endpoint " + host + ":" + port_str +
+                                 " is unreachable");
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    return fd;
+}
+
+}  // namespace
+
+StoreClient::StoreClient(const std::string& host, std::uint16_t port, int timeout_seconds)
+    : endpoint_(host + ":" + std::to_string(port)) {
+    fd_ = connect_tcp(host, port, timeout_seconds);
+    std::uint64_t status = kStatusError;
+    std::string message;
+    if (!write_store_hello(fd_) ||
+        !read_welcome(fd_, status, message, kProtocolVersion)) {
+        ::close(fd_);
+        fd_ = -1;
+        throw std::runtime_error("store " + endpoint_ + ": handshake transport failure");
+    }
+    if (status != kStatusOk) {
+        ::close(fd_);
+        fd_ = -1;
+        throw std::runtime_error("store " + endpoint_ + " refused the handshake: " +
+                                 message);
+    }
+    // The connection must never leak into forked pipe workers.
+    register_parent_fd(fd_);
+}
+
+StoreClient::~StoreClient() {
+    if (fd_ >= 0) {
+        unregister_parent_fd(fd_);
+        ::close(fd_);
+    }
+}
+
+std::vector<StoreLookup> StoreClient::get(const std::vector<std::string>& keys) {
+    std::vector<StoreLookup> lookups;
+    if (keys.empty()) return lookups;
+    if (!write_store_get_request(fd_, keys, scratch_) ||
+        !read_store_get_reply(fd_, keys.size(), lookups))
+        throw std::runtime_error("store " + endpoint_ + ": get-batch failed");
+    return lookups;
+}
+
+std::uint64_t StoreClient::put(const std::vector<StoreEntry>& entries) {
+    if (entries.empty()) return 0;
+    std::uint64_t status = kStatusError;
+    std::uint64_t appended = 0;
+    std::string message;
+    if (!write_store_put_request(fd_, entries, scratch_) ||
+        !read_store_put_reply(fd_, status, appended, message))
+        throw std::runtime_error("store " + endpoint_ + ": put-batch failed");
+    if (status != kStatusOk)
+        throw std::runtime_error("store " + endpoint_ + " rejected put-batch: " + message);
+    return appended;
+}
+
+StoreStats StoreClient::stats() {
+    StoreStats stats;
+    std::uint64_t status = kStatusError;
+    std::string message;
+    if (!write_store_stats_request(fd_) || !read_store_stats_reply(fd_, status, stats, message))
+        throw std::runtime_error("store " + endpoint_ + ": stats round-trip failed");
+    if (status != kStatusOk)
+        throw std::runtime_error("store " + endpoint_ + " rejected stats: " + message);
+    return stats;
+}
+
+}  // namespace ehdoe::store

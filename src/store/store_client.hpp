@@ -1,0 +1,44 @@
+// ehdoe/store/store_client.hpp
+//
+// Blocking client for one store connection: connect + store hello on
+// construction, then get/put/stats round-trips until destruction. All I/O
+// is time-bounded (SO_RCVTIMEO/SO_SNDTIMEO), so a wedged store degrades in
+// seconds, not the kernel's TCP patience. Every method throws
+// std::runtime_error on transport or protocol failure — callers that must
+// survive a dying store (StoreBackend) catch and fall through.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/wire.hpp"
+
+namespace ehdoe::store {
+
+class StoreClient {
+  public:
+    /// Connects and handshakes; throws when the endpoint is unreachable,
+    /// is not a store server, or refuses the protocol version.
+    StoreClient(const std::string& host, std::uint16_t port, int timeout_seconds = 30);
+    ~StoreClient();
+
+    StoreClient(const StoreClient&) = delete;
+    StoreClient& operator=(const StoreClient&) = delete;
+
+    /// One get-batch round trip; the reply has exactly keys.size() entries.
+    std::vector<net::StoreLookup> get(const std::vector<std::string>& keys);
+    /// One put-batch round trip; returns how many records the server newly
+    /// appended (duplicates are acknowledged without appending).
+    std::uint64_t put(const std::vector<net::StoreEntry>& entries);
+    net::StoreStats stats();
+
+    const std::string& endpoint() const { return endpoint_; }
+
+  private:
+    int fd_ = -1;
+    std::string endpoint_;
+    std::vector<unsigned char> scratch_;
+};
+
+}  // namespace ehdoe::store

@@ -1,0 +1,207 @@
+#include "store/store_server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <stdexcept>
+
+#include "net/wire.hpp"
+
+namespace ehdoe::store {
+
+using namespace ehdoe::net;
+
+StoreServer::StoreServer(StoreServerOptions options) : options_(std::move(options)) {
+    SegmentLogOptions lo;
+    lo.max_segment_bytes = options_.max_segment_bytes;
+    lo.verbose = options_.verbose;
+    log_ = std::make_unique<SegmentLog>(options_.dir, lo);
+}
+
+StoreServer::~StoreServer() { stop(); }
+
+void StoreServer::start() {
+    if (listen_fd_ >= 0) return;
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) throw std::runtime_error("StoreServer: socket failed");
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(options_.port);
+    if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        throw std::runtime_error("StoreServer: bad host " + options_.host);
+    }
+    if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0 ||
+        ::listen(listen_fd_, 64) != 0) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        throw std::runtime_error("StoreServer: cannot listen on " + options_.host + ":" +
+                                 std::to_string(options_.port));
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof bound;
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+        port_ = ntohs(bound.sin_port);
+    }
+    // A farm client embedding this server must not leak the listener (or
+    // any accepted connection) into its forked pipe workers.
+    register_parent_fd(listen_fd_);
+    started_at_ = std::chrono::steady_clock::now();
+    stopping_.store(false);
+    accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void StoreServer::stop() {
+    if (listen_fd_ < 0) return;
+    stopping_.store(true);
+    // Break the blocking accept(): shutdown() wakes it, close() frees it.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    unregister_parent_fd(listen_fd_);
+    ::close(listen_fd_);
+    if (accept_thread_.joinable()) accept_thread_.join();
+    listen_fd_ = -1;
+    std::vector<Connection> connections;
+    {
+        std::lock_guard<std::mutex> lock(connections_mutex_);
+        connections.swap(connections_);
+    }
+    for (Connection& conn : connections) {
+        // Wake any connection blocked in recv; its thread closes the fd.
+        ::shutdown(conn.fd, SHUT_RDWR);
+        if (conn.thread.joinable()) conn.thread.join();
+    }
+}
+
+void StoreServer::accept_loop() {
+    for (;;) {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (stopping_.load()) return;
+            if (errno == EINTR || errno == ECONNABORTED) continue;
+            return;  // listener is gone
+        }
+        if (stopping_.load()) {
+            ::close(fd);
+            return;
+        }
+        connections_accepted_.fetch_add(1);
+        register_parent_fd(fd);
+        auto done = std::make_shared<std::atomic<bool>>(false);
+        std::lock_guard<std::mutex> lock(connections_mutex_);
+        // Opportunistically reap finished connections so a long-lived
+        // server does not accumulate one joinable thread per past client.
+        for (auto it = connections_.begin(); it != connections_.end();) {
+            if (it->done->load()) {
+                if (it->thread.joinable()) it->thread.join();
+                it = connections_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+        Connection conn;
+        conn.fd = fd;
+        conn.done = done;
+        conn.thread = std::thread([this, fd, done] {
+            serve_connection(fd);
+            unregister_parent_fd(fd);
+            ::close(fd);
+            done->store(true);
+        });
+        connections_.push_back(std::move(conn));
+    }
+}
+
+void StoreServer::serve_connection(int fd) {
+    ConnectionKind kind = ConnectionKind::Unknown;
+    if (!read_connection_magic(fd, kind) || kind != ConnectionKind::Store) {
+        handshakes_rejected_.fetch_add(1);
+        return;
+    }
+    std::uint32_t version = 0;
+    if (!read_store_hello_body(fd, version)) {
+        handshakes_rejected_.fetch_add(1);
+        return;
+    }
+    if (version < kStoreMinProtocolVersion || version > kProtocolVersion) {
+        handshakes_rejected_.fetch_add(1);
+        write_welcome(fd, kStatusError,
+                      "store server speaks " + std::to_string(kProtocolVersion) +
+                          ", client sent " + std::to_string(version),
+                      kMinProtocolVersion);
+        return;
+    }
+    if (!write_welcome(fd, kStatusOk, "", version)) return;
+
+    std::vector<unsigned char> scratch;
+    std::vector<std::string> keys;
+    std::vector<StoreEntry> entries;
+    std::vector<StoreLookup> lookups;
+    for (;;) {
+        std::uint64_t opcode = 0;
+        if (!read_store_opcode(fd, opcode)) return;  // EOF: clean shutdown
+        switch (opcode) {
+            case kStoreOpGet: {
+                if (!read_store_get_request_body(fd, keys)) return;
+                lookups.clear();
+                lookups.resize(keys.size());
+                std::uint64_t hits = 0;
+                for (std::size_t i = 0; i < keys.size(); ++i) {
+                    lookups[i].found = log_->get(keys[i], lookups[i].responses);
+                    if (lookups[i].found) ++hits;
+                }
+                gets_served_.fetch_add(keys.size());
+                get_hits_.fetch_add(hits);
+                if (!write_store_get_reply(fd, lookups, scratch)) return;
+                break;
+            }
+            case kStoreOpPut: {
+                if (!read_store_put_request_body(fd, entries)) return;
+                puts_received_.fetch_add(entries.size());
+                std::uint64_t appended = 0;
+                std::uint64_t status = kStatusOk;
+                std::string message;
+                try {
+                    for (const StoreEntry& e : entries) {
+                        if (log_->put(e.key, e.responses)) ++appended;
+                    }
+                } catch (const std::exception& e) {
+                    status = kStatusError;
+                    message = e.what();
+                }
+                records_appended_.fetch_add(appended);
+                if (!write_store_put_reply(fd, status, appended, message)) return;
+                if (status != kStatusOk) return;  // a failing log is not retryable here
+                break;
+            }
+            case kStoreOpStats: {
+                StoreStats stats;
+                const SegmentLogCounters c = log_->counters();
+                stats.keys = log_->size();
+                stats.segments = log_->segment_count();
+                stats.quarantined_segments = c.quarantined_segments;
+                stats.gets_served = gets_served_.load();
+                stats.get_hits = get_hits_.load();
+                stats.puts_received = puts_received_.load();
+                stats.records_appended = records_appended_.load();
+                stats.connections_accepted = connections_accepted_.load();
+                stats.uptime_seconds =
+                    std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                                  started_at_)
+                        .count();
+                if (!write_store_stats_reply(fd, kStatusOk, stats, "")) return;
+                break;
+            }
+            default:
+                return;  // unknown opcode: broken peer, drop the connection
+        }
+    }
+}
+
+}  // namespace ehdoe::store

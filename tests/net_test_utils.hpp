@@ -84,7 +84,10 @@ public:
                     .string();
         std::remove(path_.c_str());
     }
-    ~TempFile() { std::remove(path_.c_str()); }
+    ~TempFile() {
+        std::remove(path_.c_str());
+        std::remove((path_ + ".lock").c_str());  // PersistentCache's save lock
+    }
     const std::string& path() const { return path_; }
 
 private:

@@ -232,6 +232,25 @@ TEST(ExecFaults, StdinAndOutputFileModesWork) {
     }
 }
 
+TEST(ExecFaults, CrlfSimulatorOutputParsesIdentically) {
+    // A Windows-style co-simulator terminates every line with \r\n. The
+    // runner's line splitter must strip the \r — otherwise the
+    // $-anchored regex extractors miss every NAME=VALUE line and the
+    // column extractor's last token grows a trailing \r.
+    ExecBackend crlf = make_backend(
+        ehdoe::exec_test::s1_recipe_text(kShortHorizon, "--crlf"), 2);
+    ExecBackend reference = make_backend(ehdoe::exec_test::s1_recipe_text(kShortHorizon), 1);
+
+    const auto points = ehdoe::exec_test::s1_points(3);
+    const auto got = crlf.evaluate(points);
+    const auto expected = reference.evaluate(points);
+    ASSERT_EQ(got.size(), expected.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i], expected[i])
+            << "CRLF output must parse bitwise identical to LF output (point " << i << ")";
+    }
+}
+
 TEST(ExecFaults, ReplicatesAverageLikeEveryBackend) {
     // The mock is deterministic; what is asserted here is the launch
     // accounting (values are cross-backend-identical by construction: the

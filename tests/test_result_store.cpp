@@ -1,0 +1,347 @@
+// Storage-engine tests for the result store's SegmentLog (src/store/):
+// round trip and reopen recovery, bitwise dedupe, segment rotation,
+// torn-tail truncation (the expected crash signature), quarantine of
+// corrupt segments (CRC damage must degrade reads, never poison them),
+// offline compaction, and compact.tmp crash recovery.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "store/segment_log.hpp"
+
+using namespace ehdoe;
+using namespace ehdoe::store;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A scratch directory that dies with the test (recursively).
+class TempDir {
+public:
+    explicit TempDir(const std::string& stem) {
+        static int seq = 0;
+        path_ = (fs::temp_directory_path() /
+                 (stem + "-" + std::to_string(::getpid()) + "-" + std::to_string(seq++)))
+                    .string();
+        fs::create_directories(path_);
+    }
+    ~TempDir() {
+        std::error_code ec;
+        fs::remove_all(path_, ec);
+    }
+    const std::string& path() const { return path_; }
+
+private:
+    std::string path_;
+};
+
+/// Deliberately "irrational" doubles: a bitwise round trip through the log
+/// must preserve every one of the 64 bits.
+core::ResponseMap responses_for(int i) {
+    return {{"E_harv", 1.0 / 3.0 + i}, {"packets", 0x1.fedcba987p-3 * (i + 1)}};
+}
+
+std::string key_for(int i) { return "fp/replicates=1|0x1." + std::to_string(i) + "p+0"; }
+
+/// The live segment files of a log directory, sorted by name.
+std::vector<fs::path> segment_files(const std::string& dir) {
+    std::vector<fs::path> out;
+    for (const auto& entry : fs::directory_iterator(dir)) {
+        const std::string name = entry.path().filename().string();
+        if (name.rfind("segment-", 0) == 0 && name.size() > 4 &&
+            name.compare(name.size() - 4, 4, ".log") == 0)
+            out.push_back(entry.path());
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::size_t quarantined_files(const std::string& dir) {
+    std::size_t n = 0;
+    for (const auto& entry : fs::directory_iterator(dir)) {
+        const std::string name = entry.path().filename().string();
+        if (name.size() > 12 && name.compare(name.size() - 12, 12, ".quarantined") == 0) ++n;
+    }
+    return n;
+}
+
+/// Append raw bytes to a file (forging torn tails).
+void append_raw(const fs::path& path, const void* data, std::size_t len) {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out.write(static_cast<const char*>(data), static_cast<std::streamsize>(len));
+}
+
+/// Flip one byte in place at `offset` from the end of the file.
+void flip_byte_from_end(const fs::path& path, std::size_t offset_from_end) {
+    std::fstream io(path, std::ios::binary | std::ios::in | std::ios::out);
+    io.seekg(0, std::ios::end);
+    const auto size = static_cast<std::size_t>(io.tellg());
+    ASSERT_GT(size, offset_from_end);
+    const auto pos = static_cast<std::streamoff>(size - 1 - offset_from_end);
+    io.seekg(pos);
+    char byte = 0;
+    io.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x5A);
+    io.seekp(pos);
+    io.write(&byte, 1);
+}
+
+}  // namespace
+
+TEST(Crc32, MatchesTheIeeeCheckValue) {
+    // The canonical CRC-32 check: crc32("123456789") == 0xCBF43926.
+    EXPECT_EQ(crc32_ieee("123456789", 9), 0xCBF43926u);
+    EXPECT_EQ(crc32_ieee("", 0), 0u);
+}
+
+TEST(SegmentLog, RoundTripGetAfterPut) {
+    TempDir dir("ehdoe-store-roundtrip");
+    SegmentLog log(dir.path());
+    EXPECT_EQ(log.size(), 0u);
+
+    for (int i = 0; i < 3; ++i) EXPECT_TRUE(log.put(key_for(i), responses_for(i)));
+    EXPECT_EQ(log.size(), 3u);
+    EXPECT_EQ(log.counters().records_appended, 3u);
+
+    for (int i = 0; i < 3; ++i) {
+        core::ResponseMap got;
+        ASSERT_TRUE(log.get(key_for(i), got)) << key_for(i);
+        EXPECT_EQ(got, responses_for(i));
+    }
+    core::ResponseMap miss;
+    EXPECT_FALSE(log.get("no-such-key", miss));
+}
+
+TEST(SegmentLog, ReopenRebuildsTheIndexBitwise) {
+    TempDir dir("ehdoe-store-reopen");
+    {
+        SegmentLog log(dir.path());
+        for (int i = 0; i < 5; ++i) log.put(key_for(i), responses_for(i));
+    }
+    SegmentLog reopened(dir.path());
+    EXPECT_EQ(reopened.size(), 5u);
+    EXPECT_EQ(reopened.counters().records_restored, 5u);
+    EXPECT_EQ(reopened.counters().torn_tails_truncated, 0u);
+    EXPECT_EQ(reopened.counters().quarantined_segments, 0u);
+    for (int i = 0; i < 5; ++i) {
+        core::ResponseMap got;
+        ASSERT_TRUE(reopened.get(key_for(i), got));
+        const core::ResponseMap want = responses_for(i);
+        ASSERT_EQ(got.size(), want.size());
+        auto ig = got.begin();
+        auto iw = want.begin();
+        for (; ig != got.end(); ++ig, ++iw) {
+            EXPECT_EQ(ig->first, iw->first);
+            EXPECT_EQ(std::memcmp(&ig->second, &iw->second, sizeof(double)), 0)
+                << "bit drift through the log for " << ig->first;
+        }
+    }
+}
+
+TEST(SegmentLog, BitwiseDuplicatePutIsAcknowledgedNotAppended) {
+    TempDir dir("ehdoe-store-dedupe");
+    {
+        SegmentLog log(dir.path());
+        EXPECT_TRUE(log.put(key_for(0), responses_for(0)));
+        EXPECT_FALSE(log.put(key_for(0), responses_for(0)));  // bitwise duplicate
+        EXPECT_EQ(log.counters().duplicate_puts, 1u);
+        EXPECT_EQ(log.counters().records_appended, 1u);
+
+        // A re-put with *different* bits is a fresh record; rebuild is
+        // last-writer-wins.
+        core::ResponseMap changed = responses_for(0);
+        changed["E_harv"] = changed["E_harv"] + 1.0;
+        EXPECT_TRUE(log.put(key_for(0), changed));
+        EXPECT_EQ(log.size(), 1u);
+    }
+    SegmentLog reopened(dir.path());
+    EXPECT_EQ(reopened.size(), 1u);
+    EXPECT_EQ(reopened.counters().records_restored, 2u);  // both appends replay
+    core::ResponseMap got;
+    ASSERT_TRUE(reopened.get(key_for(0), got));
+    EXPECT_EQ(got.at("E_harv"), responses_for(0).at("E_harv") + 1.0)
+        << "rebuild must be last-writer-wins";
+}
+
+TEST(SegmentLog, AppendsRotateIntoBoundedSegments) {
+    TempDir dir("ehdoe-store-rotate");
+    SegmentLogOptions o;
+    o.max_segment_bytes = 256;  // a few records per segment
+    o.verbose = false;
+    {
+        SegmentLog log(dir.path(), o);
+        for (int i = 0; i < 20; ++i) log.put(key_for(i), responses_for(i));
+        EXPECT_GT(log.segment_count(), 2u) << "rotation never sealed a segment";
+        EXPECT_EQ(log.segment_count(), segment_files(dir.path()).size());
+    }
+    SegmentLog reopened(dir.path(), o);
+    EXPECT_EQ(reopened.size(), 20u);
+    for (int i = 0; i < 20; ++i) {
+        core::ResponseMap got;
+        EXPECT_TRUE(reopened.get(key_for(i), got)) << "lost across rotation: " << key_for(i);
+    }
+}
+
+TEST(SegmentLog, TornTailOnTheNewestSegmentIsTruncatedAndAppendingResumes) {
+    TempDir dir("ehdoe-store-torn");
+    {
+        SegmentLog log(dir.path());
+        for (int i = 0; i < 3; ++i) log.put(key_for(i), responses_for(i));
+    }
+    // Forge the crash signature: a record header claiming a 64-byte body,
+    // followed by only 8 bytes of it, at the tail of the newest segment.
+    const auto segments = segment_files(dir.path());
+    ASSERT_EQ(segments.size(), 1u);
+    const std::uint32_t magic = 0x53524845u;  // "EHRS"
+    const std::uint32_t crc = 0;
+    const std::uint64_t len = 64;
+    unsigned char partial[16 + 8] = {};
+    std::memcpy(partial, &magic, sizeof magic);
+    std::memcpy(partial + 4, &crc, sizeof crc);
+    std::memcpy(partial + 8, &len, sizeof len);
+    append_raw(segments[0], partial, sizeof partial);
+    const auto torn_size = fs::file_size(segments[0]);
+
+    {
+        SegmentLog log(dir.path(), {8u << 20, false});
+        EXPECT_EQ(log.counters().torn_tails_truncated, 1u);
+        EXPECT_EQ(log.counters().quarantined_segments, 0u);
+        EXPECT_EQ(log.size(), 3u) << "the whole records before the tear must survive";
+        EXPECT_LT(fs::file_size(segments[0]), torn_size) << "the tail was not cut";
+
+        // Appending resumes in the same segment past the cut.
+        EXPECT_TRUE(log.put(key_for(3), responses_for(3)));
+    }
+    SegmentLog again(dir.path());
+    EXPECT_EQ(again.size(), 4u);
+    EXPECT_EQ(again.counters().torn_tails_truncated, 0u) << "the truncation must be durable";
+}
+
+TEST(SegmentLog, CrcDamageQuarantinesTheSegmentAndKeepsTheCleanPrefix) {
+    TempDir dir("ehdoe-store-quarantine");
+    {
+        SegmentLog log(dir.path());
+        for (int i = 0; i < 4; ++i) log.put(key_for(i), responses_for(i));
+    }
+    // Flip a byte inside the *last* record's body: its CRC no longer
+    // matches, which is damage (not a torn tail), even on the newest
+    // segment — the good prefix stays, the segment is set aside.
+    const auto segments = segment_files(dir.path());
+    ASSERT_EQ(segments.size(), 1u);
+    flip_byte_from_end(segments[0], 2);
+
+    SegmentLog log(dir.path(), {8u << 20, false});
+    EXPECT_EQ(log.counters().quarantined_segments, 1u);
+    EXPECT_EQ(log.counters().torn_tails_truncated, 0u);
+    EXPECT_EQ(quarantined_files(dir.path()), 1u) << "the damaged file must be set aside";
+    EXPECT_EQ(log.size(), 3u) << "records before the damage must stay served";
+    core::ResponseMap got;
+    EXPECT_TRUE(log.get(key_for(0), got));
+    EXPECT_FALSE(log.get(key_for(3), got))
+        << "the damaged record must read as a miss, not a wrong answer";
+
+    // The log stays writable: a fresh segment opens past the quarantined one.
+    EXPECT_TRUE(log.put(key_for(9), responses_for(9)));
+    EXPECT_TRUE(log.get(key_for(9), got));
+}
+
+TEST(SegmentLog, TornTailOnASealedSegmentIsQuarantinedNotTruncated) {
+    TempDir dir("ehdoe-store-sealed");
+    SegmentLogOptions o;
+    o.max_segment_bytes = 256;
+    o.verbose = false;
+    std::size_t before = 0;
+    {
+        SegmentLog log(dir.path(), o);
+        for (int i = 0; i < 12; ++i) log.put(key_for(i), responses_for(i));
+        ASSERT_GT(log.segment_count(), 2u);
+        before = log.size();
+    }
+    // Truncate the *first* (sealed) segment mid-record: a tear anywhere but
+    // the newest segment cannot be a crash tail — it is damage.
+    const auto segments = segment_files(dir.path());
+    fs::resize_file(segments.front(), fs::file_size(segments.front()) - 5);
+
+    SegmentLog log(dir.path(), o);
+    EXPECT_EQ(log.counters().quarantined_segments, 1u);
+    EXPECT_EQ(log.counters().torn_tails_truncated, 0u);
+    EXPECT_LT(log.size(), before);
+    EXPECT_GT(log.size(), 0u) << "the other segments' records must survive";
+}
+
+TEST(SegmentLog, CompactionCollapsesTheChainAndDropsSupersededRecords) {
+    TempDir dir("ehdoe-store-compact");
+    SegmentLogOptions o;
+    o.max_segment_bytes = 256;
+    o.verbose = false;
+    SegmentLog log(dir.path(), o);
+    for (int i = 0; i < 16; ++i) log.put(key_for(i), responses_for(i));
+    // Supersede half the keys so compaction has something to drop.
+    for (int i = 0; i < 8; ++i) {
+        core::ResponseMap changed = responses_for(i);
+        changed["E_harv"] = static_cast<double>(1000 + i);
+        log.put(key_for(i), changed);
+    }
+    ASSERT_GT(log.segment_count(), 2u);
+    const std::size_t keys = log.size();
+
+    log.compact();
+    EXPECT_EQ(log.segment_count(), 1u);
+    EXPECT_EQ(log.size(), keys);
+    EXPECT_EQ(segment_files(dir.path()).size(), 1u);
+    EXPECT_FALSE(fs::exists(fs::path(dir.path()) / "compact.tmp"));
+
+    // The compacted chain answers with the latest values, survives a
+    // reopen, and stays appendable.
+    core::ResponseMap got;
+    ASSERT_TRUE(log.get(key_for(0), got));
+    EXPECT_EQ(got.at("E_harv"), 1000.0);
+    EXPECT_TRUE(log.put(key_for(99), responses_for(99)));
+
+    SegmentLog reopened(dir.path(), o);
+    EXPECT_EQ(reopened.size(), keys + 1);
+    EXPECT_EQ(reopened.counters().records_restored, keys + 1)
+        << "compaction must have dropped every superseded record";
+}
+
+TEST(SegmentLog, OrphanedCompactTmpIsAdoptedOnlyWhenTheOldChainIsGone) {
+    TempDir dir("ehdoe-store-orphan");
+    {
+        SegmentLog log(dir.path());
+        for (int i = 0; i < 3; ++i) log.put(key_for(i), responses_for(i));
+    }
+    const auto segments = segment_files(dir.path());
+    ASSERT_EQ(segments.size(), 1u);
+
+    {
+        // Crash *before* the old chain was deleted: the orphan is stale
+        // scratch and must be discarded in favour of the segments.
+        std::ofstream(fs::path(dir.path()) / "compact.tmp") << "stale scratch";
+        SegmentLog log(dir.path(), {8u << 20, false});
+        EXPECT_EQ(log.size(), 3u);
+        EXPECT_FALSE(fs::exists(fs::path(dir.path()) / "compact.tmp"));
+        EXPECT_EQ(log.counters().quarantined_segments, 0u);
+    }
+    {
+        // Crash *after* the delete, before the rename: compact.tmp is the
+        // only copy of the table and must be adopted as segment 1.
+        fs::rename(segment_files(dir.path()).front(),
+                   fs::path(dir.path()) / "compact.tmp");
+        SegmentLog log(dir.path());
+        EXPECT_EQ(log.size(), 3u);
+        EXPECT_EQ(log.counters().records_restored, 3u);
+        EXPECT_TRUE(fs::exists(fs::path(dir.path()) / "segment-000001.log"));
+        core::ResponseMap got;
+        EXPECT_TRUE(log.get(key_for(2), got));
+    }
+}

@@ -14,7 +14,8 @@
 //   --duration SECONDS    simulation horizon override (default: scenario's)
 //   --host ADDR           interface to bind (default 127.0.0.1)
 //   --port PORT           TCP port; 0 picks an ephemeral port (default 0)
-//   --workers N           evaluation workers; 0 = hardware threads (default 0)
+//   --workers N           evaluation workers, >= 1 (default: all hardware
+//                         threads when the flag is omitted)
 //   --mode inprocess|subprocess|exec
 //                         worker pool kind (default inprocess; subprocess
 //                         isolates simulator crashes in forked processes;
@@ -47,6 +48,7 @@
 #include "core/telemetry.hpp"
 #include "exec/sim_recipe.hpp"
 #include "net/eval_server.hpp"
+#include "flag_parse.hpp"
 
 using namespace ehdoe;
 
@@ -104,22 +106,24 @@ int main(int argc, char** argv) {
         } else if (arg == "--port") {
             const char* v = next();
             if (!v) return usage(argv[0]);
-            options.port = static_cast<std::uint16_t>(std::atoi(v));
+            // atoi truncates out-of-range ports mod 2^16 and folds garbage
+            // to 0 — both would bind an unintended port instead of failing.
+            if (!tools::parse_port_arg(v, options.port))
+                return flag_error("--port must be an integer in [0, 65535], got '" +
+                                  std::string(v) + "'");
         } else if (arg == "--workers") {
             const char* v = next();
             if (!v) return usage(argv[0]);
-            options.workers = static_cast<std::size_t>(std::atoi(v));
+            if (!tools::parse_count_arg(v, 1, options.workers))
+                return flag_error("--workers must be a positive integer (omit the flag "
+                                  "for all hardware threads), got '" +
+                                  std::string(v) + "'");
         } else if (arg == "--replicates") {
             const char* v = next();
             if (!v) return usage(argv[0]);
-            // atoi would fold garbage and "0" together; both are config
-            // errors a daemon must refuse loudly, not half-apply.
-            char* end = nullptr;
-            const long n = std::strtol(v, &end, 10);
-            if (*v == '\0' || *end != '\0' || n < 1)
+            if (!tools::parse_count_arg(v, 1, options.replicates))
                 return flag_error("--replicates must be a positive integer, got '" +
                                   std::string(v) + "'");
-            options.replicates = static_cast<std::size_t>(n);
         } else if (arg == "--mode") {
             const char* v = next();
             if (!v) return usage(argv[0]);

@@ -32,6 +32,8 @@
 //   --hang-index K      --hang, but only for deck index K
 //   --garbage-index K   print unparseable output (exit 0) for index K
 //   --output FILE       write responses to FILE instead of stdout
+//   --crlf              terminate output lines with \r\n (a Windows-style
+//                       co-simulator; the runner must parse it identically)
 #include <unistd.h>
 
 #include <cstdio>
@@ -53,7 +55,7 @@ namespace {
 int usage(const char* argv0) {
     std::cerr << "usage: " << argv0
               << " [--deck file] [--output file] [--fail-every n] [--fail-marker file]\n"
-                 "       [--hang] [--hang-index k] [--garbage-index k]\n";
+                 "       [--hang] [--hang-index k] [--garbage-index k] [--crlf]\n";
     return 2;
 }
 
@@ -65,6 +67,7 @@ int main(int argc, char** argv) {
     long fail_every = 0;
     std::string fail_marker;
     bool hang_always = false;
+    bool crlf = false;
     long hang_index = -1;
     long garbage_index = -1;
 
@@ -96,6 +99,8 @@ int main(int argc, char** argv) {
             const char* v = next();
             if (!v) return usage(argv[0]);
             hang_index = std::atol(v);
+        } else if (arg == "--crlf") {
+            crlf = true;
         } else if (arg == "--garbage-index") {
             const char* v = next();
             if (!v) return usage(argv[0]);
@@ -221,16 +226,17 @@ int main(int argc, char** argv) {
         return 0;
     }
 
+    const char* eol = crlf ? "\r\n" : "\n";
     char buf[64];
     for (const auto& [name, value] : responses) {
         std::snprintf(buf, sizeof buf, "%a", value);
-        *out << name << "=" << buf << "\n";
+        *out << name << "=" << buf << eol;
     }
     *out << "values";
     for (const auto& kv : responses) {
         std::snprintf(buf, sizeof buf, "%a", kv.second);
         *out << " " << buf;
     }
-    *out << "\n";
+    *out << eol;
     return 0;
 }
