@@ -69,6 +69,10 @@ int main() {
     store::StoreServerOptions so;
     so.dir = scratch + "/store";
     so.verbose = false;
+    // Health-plane sampling stays live but parked (one manual sample per
+    // row instead of a timer) so the ledger records the store's own
+    // hit-rate view of the sweep — the same ring ehdoe-farm-top renders.
+    so.metrics_interval_seconds = 3600.0;
     store::StoreServer server(std::move(so));
     server.start();
     const std::string store_endpoint = "127.0.0.1:" + std::to_string(server.port());
@@ -120,6 +124,7 @@ int main() {
         }
         contract_ok = contract_ok && p.identical;
         sweep.push_back(p);
+        server.sample_metrics_now();
     }
     // The warm rows must be simulation-free, and the store must hold
     // exactly the design's distinct points (48 runs, 4 centre replicates).
@@ -127,6 +132,12 @@ int main() {
                   server.log().size() == reference.simulations;
     const std::size_t store_keys = server.log().size();
     const std::uint64_t store_appended = server.records_appended();
+    const std::uint64_t store_gets = server.gets_served();
+    const std::uint64_t store_hits = server.get_hits();
+    const double store_hit_rate =
+        store_gets > 0 ? static_cast<double>(store_hits) / static_cast<double>(store_gets)
+                       : 0.0;
+    const std::size_t metrics_rows = server.metrics_snapshot().rows.size();
     server.stop();
     std::error_code ec;
     std::filesystem::remove_all(scratch, ec);
@@ -145,8 +156,9 @@ int main() {
     }
     t.print(std::cout);
 
-    std::cout << "\nstore after the cold run: " << store_keys << " keys, "
-              << store_appended << " records appended\n";
+    std::cout << "\nstore after the sweep: " << store_keys << " keys, " << store_appended
+              << " records appended, " << store_hits << "/" << store_gets
+              << " gets hit (" << metrics_rows << " metrics samples)\n";
     std::cout << "\nTier contract (bitwise-identical responses from every tier; the\n"
                  "warm runs simulation-free; the store holding every distinct point):\n"
               << (contract_ok ? "HOLDS" : "VIOLATED - BUG") << "\n";
@@ -155,7 +167,9 @@ int main() {
     json << "{\"bench\": \"t10_store\", \"timestamp\": " << std::time(nullptr)
          << ", \"design_points\": " << design.runs() << ", \"hardware_threads\": " << hw
          << ", \"contract_ok\": " << (contract_ok ? "true" : "false")
-         << ", \"store_keys\": " << store_keys << ", \"sweep\": [";
+         << ", \"store_keys\": " << store_keys << ", \"store_gets_served\": " << store_gets
+         << ", \"store_get_hits\": " << store_hits << ", \"store_hit_rate\": " << store_hit_rate
+         << ", \"metrics_rows\": " << metrics_rows << ", \"sweep\": [";
     for (std::size_t i = 0; i < sweep.size(); ++i) {
         const auto& p = sweep[i];
         json << (i ? ", " : "") << "{\"backend\": \"" << p.label

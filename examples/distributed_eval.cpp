@@ -12,6 +12,8 @@
 //                         fingerprint);
 //   EHDOE_TRACE_FILE      record the client-side trace here (merge with
 //                         the servers' --trace files via ehdoe-trace);
+//   EHDOE_EVENT_LOG       append the client-side event journal (JSONL)
+//                         here (interleave via ehdoe-trace --events);
 //   EHDOE_STORE_ENDPOINT  host:port of an ehdoe-store-server — consult
 //                         the shared result store before simulating and
 //                         publish fresh results back, so a second run
@@ -42,6 +44,9 @@ int main() {
     o.cache_fingerprint = fingerprint;
     if (const char* trace = std::getenv("EHDOE_TRACE_FILE"); trace && *trace) {
         o.trace_file = trace;
+    }
+    if (const char* events = std::getenv("EHDOE_EVENT_LOG"); events && *events) {
+        o.event_log_file = events;
     }
     if (const char* store = std::getenv("EHDOE_STORE_ENDPOINT"); store && *store) {
         o.store_endpoint = store;

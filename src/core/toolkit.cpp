@@ -29,6 +29,7 @@ DesignFlow::DesignFlow(doe::DesignSpace space, doe::Simulation simulation, Optio
     ro.store_endpoint = options_.store_endpoint;
     ro.on_batch = options_.on_batch;
     ro.trace_file = options_.trace_file;
+    ro.event_log_file = options_.event_log_file;
     runner_ = std::make_unique<doe::BatchRunner>(std::move(simulation), std::move(ro));
 }
 

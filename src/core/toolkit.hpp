@@ -104,6 +104,9 @@ public:
         /// via ehdoe-trace. Strictly observational — results are bitwise
         /// identical with tracing on or off.
         std::string trace_file;
+        /// Non-empty opens the structured event journal here (JSONL; see
+        /// core/event_log.hpp). Strictly observational, like trace_file.
+        std::string event_log_file;
         std::uint64_t seed = 2013;
     };
 

@@ -36,6 +36,7 @@ struct TraceMergeResult {
     std::string json;                ///< merged Chrome trace-event JSON
     std::size_t client_events = 0;   ///< events from the client trace
     std::size_t server_events = 0;   ///< events from all server traces
+    std::size_t journal_events = 0;  ///< event-journal lines interleaved
     std::size_t eval_spans = 0;      ///< server "eval" spans (one per point)
     std::size_t batches = 0;         ///< client "batch" spans
     std::vector<std::string> warnings;  ///< unmatched servers, missing offsets
@@ -45,12 +46,27 @@ struct TraceMergeResult {
 /// Merge one client trace with any number of server traces (all Chrome
 /// trace-event JSON strings). Throws std::runtime_error on malformed
 /// input; clock-anchor problems are warnings, not errors.
+///
+/// The third form also interleaves event journals (core/event_log.hpp
+/// JSONL): each journal becomes its own lane of instant events, named by
+/// the journal's "process" field. A journal holding a "listening" event
+/// whose endpoint matches a client handshake anchor is shifted onto the
+/// client clock exactly like a server trace; a client-side journal (or an
+/// unmatched one) merges unshifted — the client journal already shares
+/// the client clock, so that is the right thing, and a genuinely
+/// unanchored server journal gets a warning, never dropped.
 TraceMergeResult merge_traces(const std::string& client_json,
                               const std::vector<std::string>& server_jsons);
+TraceMergeResult merge_traces(const std::string& client_json,
+                              const std::vector<std::string>& server_jsons,
+                              const std::vector<std::string>& journal_jsonls);
 
 /// File-based convenience: reads every path and merges. Throws
 /// std::runtime_error naming the unreadable or malformed file.
 TraceMergeResult merge_trace_files(const std::string& client_path,
                                    const std::vector<std::string>& server_paths);
+TraceMergeResult merge_trace_files(const std::string& client_path,
+                                   const std::vector<std::string>& server_paths,
+                                   const std::vector<std::string>& journal_paths);
 
 }  // namespace ehdoe::core

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/event_log.hpp"
 #include "core/persistent_cache.hpp"
 #include "core/telemetry.hpp"
 #include "exec/exec_backend.hpp"
@@ -33,10 +34,15 @@ BatchRunner::BatchRunner(Simulation sim, RunnerOptions options)
 
     // Tracing must be live before the backend stack is built so
     // construction-time work (remote handshakes, recipe parsing, cache
-    // loads) lands in the trace too.
+    // loads) lands in the trace too. Same for the event journal: a
+    // construction-time version downgrade is an event worth keeping.
     if (!options_.trace_file.empty()) {
         core::telemetry::enable();
         core::telemetry::set_process_label("ehdoe-client");
+    }
+    if (!options_.event_log_file.empty()) {
+        core::event_log::open(options_.event_log_file);
+        core::event_log::set_process_label("ehdoe-client");
     }
 
     // Fold the orchestrator's memo hits of the call in flight into the
@@ -120,11 +126,18 @@ BatchRunner::BatchRunner(std::shared_ptr<core::EvalBackend> backend, RunnerOptio
         core::telemetry::enable();
         core::telemetry::set_process_label("ehdoe-client");
     }
+    if (!options_.event_log_file.empty()) {
+        core::event_log::open(options_.event_log_file);
+        core::event_log::set_process_label("ehdoe-client");
+    }
 }
 
 BatchRunner::~BatchRunner() {
     if (!options_.trace_file.empty()) {
         core::telemetry::write_json(options_.trace_file);
+    }
+    if (!options_.event_log_file.empty()) {
+        core::event_log::close();
     }
 }
 

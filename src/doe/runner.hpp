@@ -114,6 +114,12 @@ struct RunnerOptions {
     /// destruction. Strictly observational: results are bitwise identical
     /// with tracing on or off. Merge with per-server traces via ehdoe-trace.
     std::string trace_file;
+    /// Non-empty opens the structured event journal (core/event_log.hpp)
+    /// here for the runner's lifetime: one JSONL line per farm incident
+    /// (redial, rejoin, failover re-dispatch, exec timeout/relaunch, ...).
+    /// Strictly observational, like trace_file. Interleave with traces via
+    /// ehdoe-trace --events.
+    std::string event_log_file;
 };
 
 /// Run `sim` at every point of `design` mapped through `space`.

@@ -18,6 +18,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "core/event_log.hpp"
 #include "net/wire.hpp"
 
 namespace ehdoe::exec {
@@ -178,6 +179,9 @@ ExecOutcome ExecRunner::run_point(const Vector& natural, std::size_t index) {
                 if (run.timed_out) {
                     timeouts_.fetch_add(1);
                     core::telemetry::instant("timeout", "exec");
+                    core::event_log::Event("exec_timeout")
+                        .field("point", static_cast<std::uint64_t>(index))
+                        .field("timeout_seconds", recipe_.timeout_seconds);
                     outcome.timed_out = true;
                     outcome.error = "ExecRunner: simulator timed out after " +
                                     std::to_string(recipe_.timeout_seconds) +
@@ -191,6 +195,13 @@ ExecOutcome ExecRunner::run_point(const Vector& natural, std::size_t index) {
                     if (attempt < recipe_.retries) {
                         relaunches_.fetch_add(1);
                         core::telemetry::instant("retry", "exec");
+                        core::event_log::Event("exec_relaunch")
+                            .field("point", static_cast<std::uint64_t>(index))
+                            .field("attempt", static_cast<std::uint64_t>(attempt + 1))
+                            .field("exit",
+                                   run.signaled
+                                       ? "signal " + std::to_string(run.signal)
+                                       : "status " + std::to_string(run.exit_code));
                         cleanup();
                         continue;  // bounded retry on a crashed/failed launch
                     }

@@ -18,6 +18,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/event_log.hpp"
 #include "core/telemetry.hpp"
 #include "core/thread_pool.hpp"
 #include "exec/exec_runner.hpp"
@@ -107,6 +108,10 @@ struct EvalServer::PipeWorkerPool {
                 free_.push_back({fresh.pid, fresh.fd});
                 ++live_;
                 ++respawns_;
+                core::event_log::Event("worker_respawn")
+                    .field("died_pid", static_cast<std::uint64_t>(w.pid))
+                    .field("respawned_pid", static_cast<std::uint64_t>(fresh.pid))
+                    .field("respawns", static_cast<std::uint64_t>(respawns_));
             }
             cv_.notify_all();
         }
@@ -277,8 +282,53 @@ void EvalServer::start() {
     register_parent_fd(listen_fd_);
     register_parent_fd(wake_fd_);
     started_at_ = std::chrono::steady_clock::now();
+    setup_metrics();
     running_.store(true);
     event_thread_ = std::thread([this] { event_loop(); });
+}
+
+void EvalServer::setup_metrics() {
+    if (!(options_.metrics_interval_seconds > 0.0)) return;
+    std::size_t capacity = options_.metrics_ring_capacity;
+    if (capacity == 0) capacity = 1;
+    if (capacity > kMaxMetricSamples) capacity = static_cast<std::size_t>(kMaxMetricSamples);
+    metrics_ = std::make_unique<core::metrics::Registry>(capacity);
+
+    // Interval percentiles come from histogram *deltas*: the pre-sample
+    // hook subtracts the previous snapshot once per sample; the three
+    // percentile probes then read the shared interval histogram.
+    auto prev = std::make_shared<core::telemetry::LatencyHistogram>();
+    auto interval = std::make_shared<core::telemetry::LatencyHistogram>();
+    metrics_->set_pre_sample([this, prev, interval] {
+        const core::telemetry::LatencyHistogram now = latency_histogram();
+        *interval = now;
+        interval->subtract(*prev);
+        *prev = now;
+    });
+    metrics_->register_series(
+        "served", [this] { return static_cast<double>(served_.load()); });
+    metrics_->register_series(
+        "failed", [this] { return static_cast<double>(failed_.load()); });
+    metrics_->register_series(
+        "timed_out", [this] { return static_cast<double>(points_timed_out()); });
+    metrics_->register_series(
+        "in_flight", [this] { return static_cast<double>(in_flight_.load()); });
+    metrics_->register_series("p50_us",
+                              [interval] { return interval->percentile_us(50.0); });
+    metrics_->register_series("p95_us",
+                              [interval] { return interval->percentile_us(95.0); });
+    metrics_->register_series("p99_us",
+                              [interval] { return interval->percentile_us(99.0); });
+    metrics_sampler_ = std::make_unique<core::metrics::Sampler>(
+        *metrics_, options_.metrics_interval_seconds);
+}
+
+void EvalServer::sample_metrics_now() {
+    if (metrics_) metrics_->sample_now(core::telemetry::now_us());
+}
+
+core::metrics::RingSnapshot EvalServer::metrics_snapshot() const {
+    return metrics_ ? metrics_->snapshot() : core::metrics::RingSnapshot{};
 }
 
 std::size_t EvalServer::worker_respawns() const {
@@ -315,6 +365,7 @@ ShardStats EvalServer::stats() const {
     s.latency_p50_us = hist.percentile_us(50.0);
     s.latency_p95_us = hist.percentile_us(95.0);
     s.latency_p99_us = hist.percentile_us(99.0);
+    s.metrics = metrics_snapshot();
     return s;
 }
 
@@ -328,6 +379,10 @@ void EvalServer::stop() {
         [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof one);
     }
     if (event_thread_.joinable()) event_thread_.join();
+
+    // Stop sampling before the counters' owners tear down; the registry
+    // (and its last ring) stays readable after stop().
+    metrics_sampler_.reset();
 
     // Drain in-flight evaluations *before* the wake fd closes: straggler
     // tasks still signal completions into it (into the void, harmlessly).

@@ -103,6 +103,13 @@ struct EvalServerOptions {
     /// full supported range; pinning kMinProtocolVersion emulates a
     /// previous-version server for rollout/negotiation testing.
     std::uint32_t max_protocol_version = kProtocolVersion;
+    /// Metrics sampling interval (core/metrics.hpp): > 0 runs a sampler
+    /// thread appending one snapshot row per interval to the ring the v7
+    /// stats reply carries. 0 (default) disables sampling entirely.
+    /// Strictly observational either way.
+    double metrics_interval_seconds = 0.0;
+    /// Ring capacity in rows (clamped to the wire's kMaxMetricSamples).
+    std::size_t metrics_ring_capacity = core::metrics::kDefaultRingCapacity;
 };
 
 class EvalServer {
@@ -145,6 +152,13 @@ public:
     /// Snapshot of this server's lifetime eval-latency histogram (wall
     /// time per point, microseconds) — what the v5 stats reply carries.
     core::telemetry::LatencyHistogram latency_histogram() const;
+
+    /// Force one metrics sample now (deterministic tests; no-op when
+    /// metrics sampling is disabled).
+    void sample_metrics_now();
+    /// Snapshot of the metrics ring — what the v7 stats reply carries
+    /// (empty when sampling is disabled).
+    core::metrics::RingSnapshot metrics_snapshot() const;
 
     /// Snapshot of the counters in stats-frame shape — the exact payload a
     /// stats connection is answered with.
@@ -214,6 +228,13 @@ private:
     /// the stats path — hence the guard.
     mutable std::mutex latency_mutex_;
     core::telemetry::LatencyHistogram latency_;
+
+    /// The health plane: counter/gauge series sampled into a ring by a
+    /// dedicated thread (the epoll loop parks indefinitely when idle, so
+    /// sampling cannot ride on it). Null when sampling is disabled.
+    std::unique_ptr<core::metrics::Registry> metrics_;
+    std::unique_ptr<core::metrics::Sampler> metrics_sampler_;
+    void setup_metrics();
 };
 
 }  // namespace ehdoe::net

@@ -16,6 +16,7 @@
 #include <thread>
 #include <utility>
 
+#include "core/event_log.hpp"
 #include "core/telemetry.hpp"
 
 namespace ehdoe::net {
@@ -155,6 +156,10 @@ NegotiatedConn connect_endpoint(const Endpoint& endpoint, const RemoteBackendOpt
         std::uint32_t server_version = 0;
         if (options.protocol_version == 0 && parse_server_speaks(message, server_version) &&
             server_version >= kMinProtocolVersion && server_version < version) {
+            core::event_log::Event("version_downgrade")
+                .field("endpoint", endpoint_label(endpoint))
+                .field("from", static_cast<std::uint64_t>(version))
+                .field("to", static_cast<std::uint64_t>(server_version));
             version = server_version;  // downgrade and re-dial
             continue;
         }
@@ -340,6 +345,7 @@ void RemoteBackend::maybe_redial() {
         c->last_redial = now;
         ++redials_;
         core::telemetry::instant("redial", "net", "endpoint", endpoint_label(c->endpoint));
+        core::event_log::Event("redial").field("endpoint", endpoint_label(c->endpoint));
         try {
             // Full reconnect + re-handshake: a restarted server must prove
             // it still speaks a compatible protocol/fingerprint/replicates
@@ -358,6 +364,9 @@ void RemoteBackend::maybe_redial() {
                 c->alive = true;
             }
             ++rejoins_;
+            core::event_log::Event("rejoin")
+                .field("endpoint", endpoint_label(c->endpoint))
+                .field("version", static_cast<std::uint64_t>(negotiated.version));
         } catch (const std::exception&) {
             // Still down (or rejecting the handshake): stays dead until the
             // next re-dial window. Construction-time strictness does not
@@ -545,6 +554,9 @@ std::vector<core::ResponseMap> RemoteBackend::evaluate(const std::vector<Vector>
             pending.insert(pending.end(), frame.begin(), frame.end());
         }
         c.to_send.clear();
+        core::event_log::Event("failover_redispatch")
+            .field("endpoint", endpoint_label(c.endpoint))
+            .field("pending", static_cast<std::uint64_t>(pending.size()));
 
         std::vector<Conn*> survivors;
         for (Conn* s : live) {

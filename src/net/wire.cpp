@@ -125,6 +125,72 @@ void append_bytes(std::vector<unsigned char>& out, const void* data, std::size_t
     out.insert(out.end(), p, p + len);
 }
 
+/// The v7 metrics-ring block shared by the eval and store stats replies.
+/// Encoding clamps to the wire caps (a correctly configured server never
+/// hits them: the caps exist for the *reader*, which validates every
+/// length before allocating).
+void append_metrics_ring(std::vector<unsigned char>& out,
+                         const core::metrics::RingSnapshot& ring) {
+    if (ring.series.size() > kMaxMetricSeries) {
+        // Misconfigured registry: send an empty ring rather than a frame
+        // every honest reader must reject.
+        append_u64(out, ring.interval_us);
+        append_u64(out, ring.first_seq);
+        append_u64(out, 0);
+        append_u64(out, 0);
+        return;
+    }
+    const std::size_t skip =
+        ring.rows.size() > kMaxMetricSamples ? ring.rows.size() - kMaxMetricSamples : 0;
+    append_u64(out, ring.interval_us);
+    append_u64(out, ring.first_seq + skip);
+    append_u64(out, ring.series.size());
+    for (const std::string& name : ring.series) {
+        const std::size_t len =
+            name.size() > kMaxMetricNameLen ? kMaxMetricNameLen : name.size();
+        append_u64(out, len);
+        append_bytes(out, name.data(), len);
+    }
+    append_u64(out, ring.rows.size() - skip);
+    for (std::size_t r = skip; r < ring.rows.size(); ++r) {
+        const core::metrics::RingSnapshot::Row& row = ring.rows[r];
+        append_u64(out, row.t_us);
+        for (std::size_t c = 0; c < ring.series.size(); ++c) {
+            const double v = c < row.values.size() ? row.values[c] : 0.0;
+            append_bytes(out, &v, sizeof v);
+        }
+    }
+}
+
+/// Decode one v7 metrics-ring block; every length is checked against its
+/// cap before any allocation (the v5 histogram discipline).
+bool read_metrics_ring(int fd, core::metrics::RingSnapshot& ring) {
+    ring = core::metrics::RingSnapshot{};
+    if (!read_u64(fd, ring.interval_us) || !read_u64(fd, ring.first_seq)) return false;
+    std::uint64_t n_series = 0;
+    if (!read_u64(fd, n_series) || n_series > kMaxMetricSeries) return false;
+    ring.series.reserve(static_cast<std::size_t>(n_series));
+    for (std::uint64_t i = 0; i < n_series; ++i) {
+        std::uint64_t len = 0;
+        if (!read_u64(fd, len) || len > kMaxMetricNameLen) return false;
+        std::string name(static_cast<std::size_t>(len), '\0');
+        if (!read_exact(fd, name.data(), name.size())) return false;
+        ring.series.push_back(std::move(name));
+    }
+    std::uint64_t n_rows = 0;
+    if (!read_u64(fd, n_rows) || n_rows > kMaxMetricSamples) return false;
+    ring.rows.reserve(static_cast<std::size_t>(n_rows));
+    for (std::uint64_t r = 0; r < n_rows; ++r) {
+        core::metrics::RingSnapshot::Row row;
+        if (!read_u64(fd, row.t_us)) return false;
+        row.values.resize(static_cast<std::size_t>(n_series));
+        if (!read_exact(fd, row.values.data(), sizeof(double) * row.values.size()))
+            return false;
+        ring.rows.push_back(std::move(row));
+    }
+    return true;
+}
+
 }  // namespace
 
 void encode_batch_request(std::vector<unsigned char>& out, const std::vector<Vector>& points,
@@ -326,6 +392,8 @@ void encode_stats_reply(std::vector<unsigned char>& out, std::uint64_t status,
     append_bytes(out, &stats.latency_p50_us, sizeof stats.latency_p50_us);
     append_bytes(out, &stats.latency_p95_us, sizeof stats.latency_p95_us);
     append_bytes(out, &stats.latency_p99_us, sizeof stats.latency_p99_us);
+    if (version < 7) return;  // a v5/v6 requester gets exactly that shape
+    append_metrics_ring(out, stats.metrics);
 }
 
 bool write_stats_reply(int fd, std::uint64_t status, const ShardStats& stats,
@@ -367,9 +435,13 @@ bool read_stats_reply(int fd, std::uint64_t& status, ShardStats& stats, std::str
         if (!read_u64(fd, count)) return false;
         stats.latency_buckets.emplace_back(index, count);
     }
-    return read_exact(fd, &stats.latency_p50_us, sizeof stats.latency_p50_us) &&
-           read_exact(fd, &stats.latency_p95_us, sizeof stats.latency_p95_us) &&
-           read_exact(fd, &stats.latency_p99_us, sizeof stats.latency_p99_us);
+    if (!(read_exact(fd, &stats.latency_p50_us, sizeof stats.latency_p50_us) &&
+          read_exact(fd, &stats.latency_p95_us, sizeof stats.latency_p95_us) &&
+          read_exact(fd, &stats.latency_p99_us, sizeof stats.latency_p99_us)))
+        return false;
+    if (version < 7) return true;
+    // v7 metrics ring, validated before allocation like the histogram.
+    return read_metrics_ring(fd, stats.metrics);
 }
 
 // ---------------------------------------------------------------------------
@@ -545,7 +617,7 @@ bool read_store_put_reply(int fd, std::uint64_t& status, std::uint64_t& appended
 bool write_store_stats_request(int fd) { return write_u64(fd, kStoreOpStats); }
 
 bool write_store_stats_reply(int fd, std::uint64_t status, const StoreStats& stats,
-                             const std::string& message) {
+                             const std::string& message, std::uint32_t version) {
     std::vector<unsigned char> scratch;
     append_u64(scratch, status);
     if (status == kStatusOk) {
@@ -558,6 +630,7 @@ bool write_store_stats_reply(int fd, std::uint64_t status, const StoreStats& sta
         append_u64(scratch, stats.records_appended);
         append_u64(scratch, stats.connections_accepted);
         append_bytes(scratch, &stats.uptime_seconds, sizeof stats.uptime_seconds);
+        if (version >= 7) append_metrics_ring(scratch, stats.metrics);
     } else {
         append_u64(scratch, message.size());
         append_bytes(scratch, message.data(), message.size());
@@ -566,17 +639,20 @@ bool write_store_stats_reply(int fd, std::uint64_t status, const StoreStats& sta
 }
 
 bool read_store_stats_reply(int fd, std::uint64_t& status, StoreStats& stats,
-                            std::string& message) {
+                            std::string& message, std::uint32_t version) {
     message.clear();
     stats = StoreStats{};
     if (!read_u64(fd, status)) return false;
     if (status != kStatusOk) return read_error_message(fd, message);
-    return read_u64(fd, stats.keys) && read_u64(fd, stats.segments) &&
-           read_u64(fd, stats.quarantined_segments) && read_u64(fd, stats.gets_served) &&
-           read_u64(fd, stats.get_hits) && read_u64(fd, stats.puts_received) &&
-           read_u64(fd, stats.records_appended) &&
-           read_u64(fd, stats.connections_accepted) &&
-           read_exact(fd, &stats.uptime_seconds, sizeof stats.uptime_seconds);
+    if (!(read_u64(fd, stats.keys) && read_u64(fd, stats.segments) &&
+          read_u64(fd, stats.quarantined_segments) && read_u64(fd, stats.gets_served) &&
+          read_u64(fd, stats.get_hits) && read_u64(fd, stats.puts_received) &&
+          read_u64(fd, stats.records_appended) &&
+          read_u64(fd, stats.connections_accepted) &&
+          read_exact(fd, &stats.uptime_seconds, sizeof stats.uptime_seconds)))
+        return false;
+    if (version < 7) return true;
+    return read_metrics_ring(fd, stats.metrics);
 }
 
 // ---------------------------------------------------------------------------

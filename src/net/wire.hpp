@@ -59,6 +59,11 @@
 //                histogram (core/telemetry.hpp log buckets, microseconds):
 //                          u64 n, n x { u64 bucket_index, u64 count },
 //                          f64 p50_us, f64 p95_us, f64 p99_us
+//                v7, status 0 continues with the server's metrics ring
+//                (core/metrics.hpp periodic snapshots, oldest first):
+//                          u64 interval_us, u64 first_seq,
+//                          u64 n_series, n_series x { u64 name_len, bytes },
+//                          u64 n_rows, n_rows x { u64 t_us, n_series x f64 }
 //                status != 0: u64 msg_len, bytes     (e.g. version mismatch)
 //
 // Forked pipe workers skip the handshake — fork() guarantees both ends run
@@ -78,6 +83,7 @@
 #include <vector>
 
 #include "core/eval_backend.hpp"
+#include "core/metrics.hpp"
 
 namespace ehdoe::net {
 
@@ -101,7 +107,12 @@ using num::Vector;
 /// v6: the store connection kind ("EHDOER") joined the protocol — the
 ///     shared result store's get-batch/put-batch/stats frames. Eval and
 ///     stats framing are unchanged from v5.
-inline constexpr std::uint32_t kProtocolVersion = 6;
+/// v7: the health plane — eval and store stats replies carry the server's
+///     metrics ring (core/metrics.hpp: recent periodic snapshots of its
+///     counter/gauge series), pre-allocation-validated like the v5
+///     histogram payload. Eval, handshake and store data framing are
+///     unchanged from v6.
+inline constexpr std::uint32_t kProtocolVersion = 7;
 /// Oldest hello version a server still accepts; such a connection is
 /// served with that version's reply shapes (v4 = no welcome clock sample,
 /// no stats histogram), so a fleet can roll the protocol forward one
@@ -126,6 +137,14 @@ inline constexpr std::uint64_t kSaneLimit = 1u << 24;
 /// index must stay below this (the telemetry histogram has 976 buckets; a
 /// frame claiming more is corrupt and fails before any allocation).
 inline constexpr std::uint64_t kMaxHistogramBuckets = 1024;
+
+/// Caps on the v7 metrics-ring payload, each validated before any
+/// allocation (the v5 histogram discipline): a server samples a handful of
+/// series into a ring of at most ~120 rows, so a frame claiming more is
+/// corrupt, not large.
+inline constexpr std::uint64_t kMaxMetricSeries = 64;
+inline constexpr std::uint64_t kMaxMetricNameLen = 256;
+inline constexpr std::uint64_t kMaxMetricSamples = 1024;
 
 // ---------------------------------------------------------------------------
 // Low-level I/O: loop until the full buffer moved; false on EOF/hard error.
@@ -253,6 +272,10 @@ struct ShardStats {
     double latency_p50_us = 0.0;
     double latency_p95_us = 0.0;
     double latency_p99_us = 0.0;
+    /// v7: the server's metrics ring — recent periodic snapshots of its
+    /// counter/gauge series (core/metrics.hpp). Empty when the reply was
+    /// requested below v7 or the server samples no metrics.
+    core::metrics::RingSnapshot metrics;
 };
 
 bool write_stats_request(int fd, std::uint32_t version = kProtocolVersion);
@@ -298,6 +321,9 @@ void encode_stats_reply(std::vector<unsigned char>& out, std::uint64_t status,
 //                    u64 gets_served, u64 get_hits, u64 puts_received,
 //                    u64 records_appended, u64 connections_accepted,
 //                    f64 uptime_seconds
+//                    v7 continues with the store's metrics ring (the same
+//                    layout as the v7 eval stats reply); the shape follows
+//                    the connection's negotiated version.
 //
 // Every length field is checked against kSaneLimit before allocation, and
 // a whole get/put frame additionally runs against a cumulative kSaneLimit
@@ -332,6 +358,8 @@ struct StoreStats {
     std::uint64_t records_appended = 0;      ///< entries newly appended
     std::uint64_t connections_accepted = 0;
     double uptime_seconds = 0.0;  ///< since the server start()ed
+    /// v7: the store's metrics ring (empty below v7 / sampling off).
+    core::metrics::RingSnapshot metrics;
 };
 
 bool write_store_hello(int fd, std::uint32_t version = kProtocolVersion);
@@ -360,10 +388,15 @@ bool read_store_put_reply(int fd, std::uint64_t& status, std::uint64_t& appended
                           std::string& message);
 
 bool write_store_stats_request(int fd);
+/// The reply's shape follows the store connection's negotiated `version`:
+/// from v7 on an OK reply appends the metrics ring. Reader and writer must
+/// pass the version the handshake agreed.
 bool write_store_stats_reply(int fd, std::uint64_t status, const StoreStats& stats,
-                             const std::string& message);
+                             const std::string& message,
+                             std::uint32_t version = kStoreMinProtocolVersion);
 bool read_store_stats_reply(int fd, std::uint64_t& status, StoreStats& stats,
-                            std::string& message);
+                            std::string& message,
+                            std::uint32_t version = kStoreMinProtocolVersion);
 
 // ---------------------------------------------------------------------------
 // The worker side of the protocol: serve request frames until EOF. Shared

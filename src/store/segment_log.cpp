@@ -12,6 +12,8 @@
 #include <system_error>
 #include <vector>
 
+#include "core/event_log.hpp"
+
 namespace fs = std::filesystem;
 
 namespace ehdoe::store {
@@ -268,6 +270,9 @@ void SegmentLog::scan_locked() {
         // that scanned clean before the damage, never fail the open.
         fs::rename(path, fs::path(path.string() + ".quarantined"), ec);
         ++counters_.quarantined_segments;
+        core::event_log::Event("segment_quarantine")
+            .field("segment", path.filename().string())
+            .field("records_recovered", static_cast<std::uint64_t>(restored));
         if (options_.verbose)
             std::fprintf(stderr,
                          "[ehdoe-store] %s: quarantined corrupt segment %s (%llu records "

@@ -4,6 +4,8 @@
 #include <utility>
 #include <vector>
 
+#include "core/event_log.hpp"
+
 namespace ehdoe::store {
 
 std::string StoreBackend::point_key(const std::string& fingerprint,
@@ -31,6 +33,10 @@ StoreBackend::StoreBackend(std::shared_ptr<core::EvalBackend> inner,
 
 void StoreBackend::note_store_failure(const std::string& what) {
     client_.reset();
+    core::event_log::Event("redial")
+        .field("component", "store")
+        .field("endpoint", options_.host + ":" + std::to_string(options_.port))
+        .field("error", what);
     if (!failure_logged_) {
         failure_logged_ = true;
         std::fprintf(stderr,
@@ -51,6 +57,9 @@ void StoreBackend::maybe_redial() {
         client_ = std::make_unique<StoreClient>(options_.host, options_.port,
                                                 options_.timeout_seconds);
         failure_logged_ = false;
+        core::event_log::Event("rejoin")
+            .field("component", "store")
+            .field("endpoint", options_.host + ":" + std::to_string(options_.port));
         std::fprintf(stderr, "[ehdoe-store] %s:%u is back; resuming store lookups\n",
                      options_.host.c_str(), static_cast<unsigned>(options_.port));
     } catch (const std::exception&) {

@@ -34,11 +34,23 @@ class StoreClient {
     net::StoreStats stats();
 
     const std::string& endpoint() const { return endpoint_; }
+    /// The protocol version this connection settled on: the client leads
+    /// with the newest version and, when an older store names the version
+    /// it speaks in its refusal, re-dials once at that version.
+    std::uint32_t version() const { return version_; }
 
   private:
     int fd_ = -1;
     std::string endpoint_;
+    std::uint32_t version_ = 0;
     std::vector<unsigned char> scratch_;
 };
+
+/// One-shot stats poll of a store endpoint ("HOST:PORT"): dial, stats
+/// round-trip, close. False with a diagnosis in `error` on any failure —
+/// the monitoring-path shape (ehdoe-farm-stats, ehdoe-metrics-export),
+/// never throws.
+bool query_store_stats(const std::string& endpoint, net::StoreStats& stats,
+                       std::string& error);
 
 }  // namespace ehdoe::store

@@ -5,9 +5,11 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <stdexcept>
 
+#include "core/telemetry.hpp"
 #include "net/wire.hpp"
 
 namespace ehdoe::store {
@@ -55,7 +57,48 @@ void StoreServer::start() {
     register_parent_fd(listen_fd_);
     started_at_ = std::chrono::steady_clock::now();
     stopping_.store(false);
+    setup_metrics();
     accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void StoreServer::setup_metrics() {
+    if (options_.metrics_interval_seconds <= 0.0) return;
+    const std::size_t capacity =
+        std::min(std::max<std::size_t>(options_.metrics_ring_capacity, 2),
+                 static_cast<std::size_t>(net::kMaxMetricSamples));
+    metrics_ = std::make_unique<core::metrics::Registry>(capacity);
+    metrics_->set_interval_us(static_cast<std::uint64_t>(
+        options_.metrics_interval_seconds * 1e6));
+    metrics_->register_series("keys", [this] {
+        return static_cast<double>(log_->size());
+    });
+    metrics_->register_series("segments", [this] {
+        return static_cast<double>(log_->segment_count());
+    });
+    metrics_->register_series("gets_served", [this] {
+        return static_cast<double>(gets_served_.load());
+    });
+    metrics_->register_series("get_hits", [this] {
+        return static_cast<double>(get_hits_.load());
+    });
+    metrics_->register_series("puts_received", [this] {
+        return static_cast<double>(puts_received_.load());
+    });
+    metrics_->register_series("records_appended", [this] {
+        return static_cast<double>(records_appended_.load());
+    });
+    metrics_sampler_ = std::make_unique<core::metrics::Sampler>(
+        *metrics_, options_.metrics_interval_seconds);
+}
+
+void StoreServer::sample_metrics_now() {
+    if (!metrics_) return;
+    metrics_->sample_now(core::telemetry::now_us());
+}
+
+core::metrics::RingSnapshot StoreServer::metrics_snapshot() const {
+    if (!metrics_) return {};
+    return metrics_->snapshot();
 }
 
 void StoreServer::stop() {
@@ -65,6 +108,7 @@ void StoreServer::stop() {
     ::shutdown(listen_fd_, SHUT_RDWR);
     unregister_parent_fd(listen_fd_);
     ::close(listen_fd_);
+    metrics_sampler_.reset();
     if (accept_thread_.joinable()) accept_thread_.join();
     listen_fd_ = -1;
     std::vector<Connection> connections;
@@ -195,7 +239,10 @@ void StoreServer::serve_connection(int fd) {
                     std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                                   started_at_)
                         .count();
-                if (!write_store_stats_reply(fd, kStatusOk, stats, "")) return;
+                if (metrics_) stats.metrics = metrics_->snapshot();
+                // The reply shape follows the version this connection
+                // negotiated: a v6 client gets exactly the v6 frame.
+                if (!write_store_stats_reply(fd, kStatusOk, stats, "", version)) return;
                 break;
             }
             default:

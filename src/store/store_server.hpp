@@ -27,6 +27,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/metrics.hpp"
 #include "store/segment_log.hpp"
 
 namespace ehdoe::store {
@@ -40,6 +41,12 @@ struct StoreServerOptions {
     /// Passed through to the SegmentLog.
     std::size_t max_segment_bytes = 8u << 20;
     bool verbose = true;
+    /// Metrics sampling interval (core/metrics.hpp): > 0 runs a sampler
+    /// thread appending one snapshot row per interval to the ring the v7
+    /// store-stats reply carries. 0 (default) disables sampling entirely.
+    double metrics_interval_seconds = 0.0;
+    /// Ring capacity in rows (clamped to the wire's kMaxMetricSamples).
+    std::size_t metrics_ring_capacity = core::metrics::kDefaultRingCapacity;
 };
 
 class StoreServer {
@@ -71,9 +78,17 @@ class StoreServer {
     std::uint64_t puts_received() const { return puts_received_.load(); }
     std::uint64_t records_appended() const { return records_appended_.load(); }
 
+    /// Force one metrics sample now (deterministic tests; no-op when
+    /// metrics sampling is disabled).
+    void sample_metrics_now();
+    /// Snapshot of the metrics ring — what the v7 store-stats reply
+    /// carries (empty when sampling is disabled).
+    core::metrics::RingSnapshot metrics_snapshot() const;
+
   private:
     void accept_loop();
     void serve_connection(int fd);
+    void setup_metrics();
 
     StoreServerOptions options_;
     std::unique_ptr<SegmentLog> log_;
@@ -96,6 +111,12 @@ class StoreServer {
     std::atomic<std::uint64_t> get_hits_{0};
     std::atomic<std::uint64_t> puts_received_{0};
     std::atomic<std::uint64_t> records_appended_{0};
+
+    /// Health-plane ring (thread-per-connection here, but the sampler is
+    /// still its own thread so an idle store keeps sampling). Null when
+    /// sampling is disabled.
+    std::unique_ptr<core::metrics::Registry> metrics_;
+    std::unique_ptr<core::metrics::Sampler> metrics_sampler_;
 };
 
 }  // namespace ehdoe::store

@@ -321,6 +321,97 @@ TEST(WireHardening, StatsReplyTruncatedMidHistogramFailsCleanly) {
     expect_stats_tail_failure(std::move(tail));
 }
 
+namespace {
+
+void push_f64(std::vector<unsigned char>& bytes, double v) {
+    const auto* p = reinterpret_cast<const unsigned char*>(&v);
+    bytes.insert(bytes.end(), p, p + sizeof v);
+}
+
+/// A valid-but-empty v5 histogram section (0 buckets, 3 percentiles): the
+/// v7 ring poisons below must get *past* the v5 block to prove the ring
+/// fields themselves are validated.
+std::vector<unsigned char> empty_v5_block() {
+    std::vector<unsigned char> bytes;
+    bytes.reserve(32);   // 4 fields; also quiets GCC 12's overflow false positive
+    push_u64(bytes, 0);  // no histogram buckets
+    push_f64(bytes, 0.0);
+    push_f64(bytes, 0.0);
+    push_f64(bytes, 0.0);
+    return bytes;
+}
+
+}  // namespace
+
+// A v7 stats reply claiming 2^40 metric series: kMaxMetricSeries must fail
+// the read before any allocation.
+TEST(WireHardening, StatsReplyWithOversizedMetricSeriesCountFailsCleanly) {
+    std::vector<unsigned char> tail = empty_v5_block();
+    push_u64(tail, 1'000'000);  // interval_us
+    push_u64(tail, 0);          // first_seq
+    push_u64(tail, std::uint64_t{1} << 40);
+    expect_stats_tail_failure(std::move(tail));
+}
+
+// A series name longer than kMaxMetricNameLen is corrupt, not verbose.
+TEST(WireHardening, StatsReplyWithOversizedMetricNameFailsCleanly) {
+    std::vector<unsigned char> tail = empty_v5_block();
+    push_u64(tail, 1'000'000);
+    push_u64(tail, 0);
+    push_u64(tail, 1);                         // one series...
+    push_u64(tail, std::uint64_t{1} << 50);    // ...with an absurd name
+    expect_stats_tail_failure(std::move(tail));
+}
+
+// More ring rows than kMaxMetricSamples is corrupt — the ring is bounded
+// by design.
+TEST(WireHardening, StatsReplyWithOversizedMetricRowCountFailsCleanly) {
+    std::vector<unsigned char> tail = empty_v5_block();
+    push_u64(tail, 1'000'000);
+    push_u64(tail, 0);
+    push_u64(tail, 1);  // one series, named "s"
+    push_u64(tail, 1);
+    tail.push_back('s');
+    push_u64(tail, net::kMaxMetricSamples + 1);
+    expect_stats_tail_failure(std::move(tail));
+}
+
+// A ring cut short mid-row fails the read, never hangs.
+TEST(WireHardening, StatsReplyTruncatedMidMetricRowFailsCleanly) {
+    std::vector<unsigned char> tail = empty_v5_block();
+    push_u64(tail, 1'000'000);
+    push_u64(tail, 0);
+    push_u64(tail, 1);
+    push_u64(tail, 1);
+    tail.push_back('s');
+    push_u64(tail, 3);    // claim three rows...
+    push_u64(tail, 555);  // ...deliver one timestamp, vanish
+    expect_stats_tail_failure(std::move(tail));
+}
+
+// The store stats reply shares the ring codec; its reader must apply the
+// same caps. A socketpair is transport enough to poison it directly.
+TEST(WireHardening, StoreStatsReplyWithOversizedRingFailsCleanly) {
+    int sv[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+    std::vector<unsigned char> poison;
+    push_u64(poison, net::kStatusOk);
+    for (int c = 0; c < 8; ++c) push_u64(poison, 0);  // the store counters
+    push_f64(poison, 1.0);                            // uptime
+    push_u64(poison, 1'000'000);                      // ring interval_us
+    push_u64(poison, 0);                              // first_seq
+    push_u64(poison, std::uint64_t{1} << 40);         // absurd series count
+    ASSERT_TRUE(net::write_all(sv[0], poison.data(), poison.size()));
+    ::shutdown(sv[0], SHUT_WR);
+
+    net::StoreStats stats;
+    std::uint64_t status = net::kStatusError;
+    std::string message;
+    EXPECT_FALSE(net::read_store_stats_reply(sv[1], status, stats, message, 7));
+    ::close(sv[0]);
+    ::close(sv[1]);
+}
+
 TEST(WireHardening, StatsQueryFailsCleanlyOnOversizedRejectionMessage) {
     // A fake "server" that answers the stats request with an error frame
     // whose message length is absurd: query_shard_stats must return false,

@@ -30,6 +30,13 @@
 //                         handshake/eval, core/telemetry.hpp) and write a
 //                         Chrome trace-event JSON file on shutdown; merge
 //                         with the client's trace via ehdoe-trace
+//   --metrics-interval S  sample the health-plane metrics ring every S
+//                         seconds (core/metrics.hpp; served in the v7
+//                         stats reply, rendered by ehdoe-farm-top /
+//                         ehdoe-metrics-export). Default: disabled.
+//   --events FILE         append this shard's structured event journal
+//                         (JSONL, core/event_log.hpp) here; interleave
+//                         with traces via ehdoe-trace --events
 //   --print-fingerprint   print the served fingerprint and exit
 //
 // On startup the daemon prints one "listening on HOST:PORT ..." line
@@ -44,6 +51,7 @@
 #include <string>
 #include <thread>
 
+#include "core/event_log.hpp"
 #include "core/scenario.hpp"
 #include "core/telemetry.hpp"
 #include "exec/sim_recipe.hpp"
@@ -63,7 +71,7 @@ int usage(const char* argv0) {
               << " [--scenario S1|S2|S3] [--duration s] [--host addr] [--port p]\n"
                  "       [--workers n] [--mode inprocess|subprocess|exec] [--recipe file]\n"
                  "       [--fingerprint str] [--replicates n] [--trace file]\n"
-                 "       [--print-fingerprint]\n";
+                 "       [--metrics-interval s] [--events file] [--print-fingerprint]\n";
     return 2;
 }
 
@@ -82,6 +90,7 @@ int main(int argc, char** argv) {
     std::string recipe_path;
     std::string fingerprint_override;
     std::string trace_path;
+    std::string events_path;
     net::EvalServerOptions options;
     options.workers = 0;
 
@@ -143,6 +152,18 @@ int main(int argc, char** argv) {
             const char* v = next();
             if (!v) return usage(argv[0]);
             trace_path = v;
+        } else if (arg == "--metrics-interval") {
+            const char* v = next();
+            if (!v) return usage(argv[0]);
+            if (!tools::parse_double_arg(v, options.metrics_interval_seconds) ||
+                options.metrics_interval_seconds <= 0.0)
+                return flag_error("--metrics-interval must be a positive number of "
+                                  "seconds, got '" +
+                                  std::string(v) + "'");
+        } else if (arg == "--events") {
+            const char* v = next();
+            if (!v) return usage(argv[0]);
+            events_path = v;
         } else if (arg == "--print-fingerprint") {
             print_fingerprint = true;
         } else {
@@ -179,6 +200,20 @@ int main(int argc, char** argv) {
         sim = scenario.make_simulation();
         workload = "scenario=" + scenario_name;
     }
+    // Test hook: EHDOE_TEST_SIM_DELAY_MS stretches every evaluation by a
+    // fixed sleep so smoke scripts can kill a shard mid-run on purpose (the
+    // CI metrics smoke forces a failover this way and asserts the journal).
+    // Ignored in exec mode — there the recipe owns the simulator's pacing.
+    if (const char* delay = std::getenv("EHDOE_TEST_SIM_DELAY_MS"); delay && *delay && sim) {
+        const double delay_ms = std::atof(delay);
+        if (delay_ms > 0.0) {
+            sim = [inner = std::move(sim), delay_ms](const core::Vector& x) {
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double, std::milli>(delay_ms));
+                return inner(x);
+            };
+        }
+    }
     if (!fingerprint_override.empty()) options.fingerprint = fingerprint_override;
     if (print_fingerprint) {
         std::cout << options.fingerprint << "\n";
@@ -190,13 +225,20 @@ int main(int argc, char** argv) {
             core::telemetry::enable();
             core::telemetry::set_process_label("ehdoe-eval-server");
         }
+        if (!events_path.empty()) {
+            if (!core::event_log::open(events_path))
+                return flag_error("cannot open --events file '" + events_path + "'");
+            core::event_log::set_process_label("ehdoe-eval-server");
+        }
         net::EvalServer server(std::move(sim), options);
         server.start();
         const std::string endpoint_label =
             options.host + ":" + std::to_string(server.port());
         // The merge tool (core/trace_merge.hpp) matches this instant's
-        // endpoint against the client's handshake spans to anchor clocks.
+        // endpoint against the client's handshake spans to anchor clocks;
+        // the journal's copy anchors `ehdoe-trace --events` the same way.
         core::telemetry::instant("listening", "server", "endpoint", endpoint_label);
+        core::event_log::Event("listening").field("endpoint", endpoint_label);
         std::cout << "listening on " << endpoint_label << " "
                   << workload << " workers=" << server.options().workers << " mode=" << mode
                   << " replicates=" << options.replicates << " fingerprint="
@@ -214,6 +256,7 @@ int main(int argc, char** argv) {
         if (!trace_path.empty() && !core::telemetry::write_json(trace_path)) {
             std::cerr << "ehdoe-eval-server: cannot write trace file '" << trace_path << "'\n";
         }
+        core::event_log::close();
     } catch (const std::exception& e) {
         std::cerr << "ehdoe-eval-server: " << e.what() << "\n";
         return 1;

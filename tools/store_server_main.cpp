@@ -19,6 +19,12 @@
 //                         chain (dropping superseded records and deleting
 //                         quarantined files), print a summary and exit —
 //                         run it while no server owns the directory
+//   --metrics-interval S  sample the health-plane metrics ring every S
+//                         seconds (core/metrics.hpp; served in the v7
+//                         store-stats reply). Default: disabled.
+//   --events FILE         append the structured event journal (JSONL,
+//                         core/event_log.hpp) here — segment quarantines
+//                         land in it
 //
 // On startup the daemon prints one "listening on HOST:PORT ..." line
 // (machine-readable; tests and scripts scrape the port), then serves until
@@ -30,6 +36,7 @@
 #include <string>
 #include <thread>
 
+#include "core/event_log.hpp"
 #include "store/store_server.hpp"
 #include "flag_parse.hpp"
 
@@ -43,7 +50,8 @@ void handle_signal(int) { g_stop = 1; }
 
 int usage(const char* argv0) {
     std::cerr << "usage: " << argv0
-              << " --dir path [--host addr] [--port p] [--segment-bytes n] [--compact]\n";
+              << " --dir path [--host addr] [--port p] [--segment-bytes n] [--compact]\n"
+                 "       [--metrics-interval s] [--events file]\n";
     return 2;
 }
 
@@ -56,6 +64,7 @@ int flag_error(const std::string& message) {
 
 int main(int argc, char** argv) {
     store::StoreServerOptions options;
+    std::string events_path;
     bool compact = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -84,6 +93,18 @@ int main(int argc, char** argv) {
             if (!tools::parse_count_arg(v, 4096, options.max_segment_bytes))
                 return flag_error("--segment-bytes must be an integer >= 4096, got '" +
                                   std::string(v) + "'");
+        } else if (arg == "--metrics-interval") {
+            const char* v = next();
+            if (!v) return usage(argv[0]);
+            if (!tools::parse_double_arg(v, options.metrics_interval_seconds) ||
+                options.metrics_interval_seconds <= 0.0)
+                return flag_error("--metrics-interval must be a positive number of "
+                                  "seconds, got '" +
+                                  std::string(v) + "'");
+        } else if (arg == "--events") {
+            const char* v = next();
+            if (!v) return usage(argv[0]);
+            events_path = v;
         } else if (arg == "--compact") {
             compact = true;
         } else {
@@ -91,6 +112,14 @@ int main(int argc, char** argv) {
         }
     }
     if (options.dir.empty()) return flag_error("--dir PATH is required");
+
+    if (!events_path.empty()) {
+        // Open before the recovery scan runs (the StoreServer ctor): a
+        // quarantine found on startup must land in the journal too.
+        if (!core::event_log::open(events_path))
+            return flag_error("cannot open --events file '" + events_path + "'");
+        core::event_log::set_process_label("ehdoe-store-server");
+    }
 
     try {
         if (compact) {
@@ -107,6 +136,10 @@ int main(int argc, char** argv) {
 
         store::StoreServer server(options);
         server.start();
+        // The journal's "listening" event is the clock anchor ehdoe-trace
+        // --events matches against the client's handshake spans.
+        core::event_log::Event("listening")
+            .field("endpoint", options.host + ":" + std::to_string(server.port()));
         const store::SegmentLogCounters restored = server.log().counters();
         std::cout << "listening on " << options.host << ":" << server.port() << " dir="
                   << options.dir << " keys=" << server.log().size() << " segments="
@@ -124,6 +157,7 @@ int main(int argc, char** argv) {
                   << server.gets_served() << " gets (" << server.get_hits()
                   << " hits) over " << server.connections_accepted() << " connections\n";
         server.stop();
+        core::event_log::close();
     } catch (const std::exception& e) {
         std::cerr << "ehdoe-store-server: " << e.what() << "\n";
         return 1;
